@@ -1,0 +1,101 @@
+"""E8 -- Theorem 3.6 / Corollary 3.7: verification upper bounds vs the bound.
+
+Runs the distributed verification suite on live instances and lays measured
+round counts against the Omega(sqrt(n / (B log n))) lower bound; also shows
+the GKP-based connectivity path whose rounds grow ~ sqrt(n) polylog.
+"""
+
+import math
+import random
+
+import networkx as nx
+
+from repro.algorithms.verification import run_gkp_components, run_verification
+from repro.core.bounds import verification_lower_bound
+from repro.graphs.generators import disjoint_cycle_cover, random_connected_graph
+
+BANDWIDTH = 64
+
+
+def _verification_rows():
+    graph = random_connected_graph(24, extra_edge_prob=0.2, seed=3)
+    rng = random.Random(3)
+    for u, v in graph.edges():
+        graph.edges[u, v]["weight"] = rng.uniform(1.0, 5.0)
+    tree = list(nx.minimum_spanning_tree(graph).edges())
+    rows = []
+    cases = [
+        ("connectivity", tree, True, {}),
+        ("spanning tree", tree, True, {}),
+        ("cycle containment", tree, False, {}),
+        ("bipartiteness", tree, True, {}),
+        ("s-t connectivity", tree, True, {"s": 0, "t": 5}),
+        ("cut", list(graph.edges()), True, {}),
+        ("connected spanning subgraph", tree, True, {}),
+    ]
+    for problem, m, expected, kwargs in cases:
+        verdict, result = run_verification(problem, graph, m, bandwidth=BANDWIDTH, **kwargs)
+        assert verdict == expected, problem
+        rows.append((problem, result.rounds, result.total_bits))
+    return rows
+
+
+def test_verification_suite_rounds(benchmark):
+    rows = benchmark.pedantic(_verification_rows, iterations=1, rounds=1)
+    n = 24
+    lb = verification_lower_bound(n, BANDWIDTH)
+    print(f"\n=== Corollary 3.7 verification suite (n = {n}, B = {BANDWIDTH}) ===")
+    print(f"lower bound Omega(sqrt(n/(B log n))) = {lb:.2f} rounds")
+    print(f"{'problem':30s} {'rounds':>7s} {'total bits':>11s}")
+    for problem, rounds, bits in rows:
+        print(f"{problem:30s} {rounds:7d} {bits:11d}")
+        assert rounds >= lb  # upper bounds dominate the lower bound
+
+
+def test_gkp_connectivity_scaling(benchmark):
+    """The O~(sqrt(n) + D)-shaped connectivity verifier: rounds per sqrt(n)
+    stay near-flat as n quadruples."""
+
+    def run():
+        rows = []
+        for n in (16, 64, 144):
+            graph = random_connected_graph(n, extra_edge_prob=max(0.02, 8 / n), seed=n)
+            rng = random.Random(n)
+            for u, v in graph.edges():
+                graph.edges[u, v]["weight"] = rng.uniform(1.0, 5.0)
+            tree = list(nx.minimum_spanning_tree(graph).edges())
+            count, result = run_gkp_components(graph, tree, bandwidth=128)
+            assert count == 1
+            rows.append((n, result.rounds, result.rounds / (math.sqrt(n) * math.log2(n) ** 2)))
+        return rows
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    print("\n=== GKP connectivity verification: rounds vs sqrt(n) log^2 n ===")
+    print(f"{'n':>5s} {'rounds':>7s} {'rounds/(sqrt(n) log^2 n)':>25s}")
+    for n, rounds, normalised in rows:
+        print(f"{n:5d} {rounds:7d} {normalised:25.2f}")
+    normalised = [r[2] for r in rows]
+    assert max(normalised) / min(normalised) < 3.0  # near-flat = sqrt shape
+
+
+def test_gap_hamiltonian_instances(benchmark):
+    """Gap-Ham verification: Hamiltonian vs beta-n-far cycle covers."""
+
+    def run():
+        n = 18
+        graph = nx.complete_graph(n)
+        results = []
+        for n_cycles in (1, 3):
+            cover = disjoint_cycle_cover(n, n_cycles, seed=5)
+            verdict, result = run_verification(
+                "hamiltonian cycle", graph, list(cover.edges()), bandwidth=BANDWIDTH
+            )
+            results.append((n_cycles, verdict, result.rounds))
+        return results
+
+    results = benchmark.pedantic(run, iterations=1, rounds=1)
+    print("\n=== Gap-Hamiltonian verification ===")
+    for n_cycles, verdict, rounds in results:
+        print(f"cycles = {n_cycles}: verdict = {verdict}, rounds = {rounds}")
+    assert results[0][1] is True
+    assert results[1][1] is False

@@ -1,0 +1,74 @@
+"""The paper's full lower-bound pipeline on concrete instances.
+
+Walks Figure 1 left to right: a nonlocal game simulates a Server-model
+protocol (Lemma 3.2); IPmod3 hardness transfers to Hamiltonian-cycle
+verification through the Section 7 gadgets (Theorem 3.4); the Quantum
+Simulation Theorem carries it onto a distributed network (Theorem 3.5);
+and the Theorem 3.6/3.8 numbers drop out.
+
+    python examples/lower_bound_pipeline.py
+"""
+
+import math
+import random
+
+from repro.core.approx_degree import approx_degree, mod3_function
+from repro.core.bounds import optimization_lower_bound, verification_lower_bound
+from repro.core.gadgets import ipmod3_to_ham, ipmod3_value
+from repro.core.nonlocal_games import chsh_game
+from repro.core.simulation_theorem import SimulationTheoremNetwork, theorem_parameters
+from repro.graphs.generators import matching_pair_for_cycles
+
+
+def main() -> None:
+    print("=" * 72)
+    print("Stage 1 -- nonlocal games (Section 6)")
+    print("=" * 72)
+    game = chsh_game()
+    print(f"CHSH classical bias {game.classical_bias():.4f} vs quantum "
+          f"{game.quantum_bias(seed=0):.4f} (Tsirelson: {1 / math.sqrt(2):.4f})")
+    degrees = {n: approx_degree(mod3_function(n)) for n in (6, 12)}
+    print(f"deg_1/3(MOD3): {degrees} -- linear, hence Q*_sv(IPmod3_n) = Omega(n)")
+
+    print()
+    print("=" * 72)
+    print("Stage 2 -- gadget reduction IPmod3 -> Ham (Section 7)")
+    print("=" * 72)
+    rng = random.Random(0)
+    for _ in range(3):
+        x = tuple(rng.randrange(2) for _ in range(6))
+        y = tuple(rng.randrange(2) for _ in range(6))
+        instance = ipmod3_to_ham(x, y)
+        print(f"x = {x}, y = {y}: IPmod3 = {ipmod3_value(x, y)}, "
+              f"union graph Hamiltonian = {instance.is_hamiltonian()} "
+              f"({instance.n_nodes} nodes)")
+
+    print()
+    print("=" * 72)
+    print("Stage 3 -- Quantum Simulation Theorem (Section 8)")
+    print("=" * 72)
+    net = SimulationTheoremNetwork(6, 17)
+    carol, david = matching_pair_for_cycles(net.input_graph_size, 1, seed=1)
+    print(f"N(Gamma=6, L=17): {net.graph.number_of_nodes()} nodes, "
+          f"{net.n_highways} highways, horizon L/2 - 2 = {net.schedule.valid_horizon()}")
+    print(f"Observation 8.1 (cycles preserved by embedding): "
+          f"{net.check_observation_8_1(carol, david)}")
+    params = theorem_parameters(10_000, bandwidth=14)
+    print(f"Theorem 3.6 plumbing at n = 10^4: L ~ {params['L']:.0f}, "
+          f"Gamma ~ {params['Gamma']:.0f}, per-round sim cost ~ {params['per_round_cost']:.0f} bits")
+
+    print()
+    print("=" * 72)
+    print("Stage 4 -- the headline bounds (Theorems 3.6 & 3.8)")
+    print("=" * 72)
+    for n in (10_000, 100_000, 1_000_000):
+        b = max(1, round(math.log2(n)))
+        print(f"n = {n:>9,d}: verification LB = {verification_lower_bound(n, b):8.1f} rounds, "
+              f"MST LB (W large) = {optimization_lower_bound(n, b):8.1f} rounds")
+    print("\nBoth bounds hold for quantum algorithms with arbitrary prior")
+    print("entanglement -- quantum communication does not help for MST,")
+    print("minimum cut, or shortest paths.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Example 1.1 live: when quantum communication *does* help.
+
+Two far-apart nodes hold b-bit strings; deciding Set Disjointness classically
+costs ~ b/B rounds, but the Grover protocol of [BCW98, AA05] does it in
+~ 2 D sqrt(b) round trips -- the counterexample that forces the paper to
+replace Disjointness with IPmod3 in its hardness pipeline.
+
+    python examples/quantum_advantage_disjointness.py
+"""
+
+import random
+
+import networkx as nx
+
+from repro.algorithms.disjointness import (
+    run_classical_disjointness,
+    run_quantum_disjointness,
+)
+from repro.congest.topology import dumbbell_graph
+
+
+def main() -> None:
+    graph = dumbbell_graph(3, 4)
+    u, v = ("L", 1), ("R", 1)
+    dist = nx.shortest_path_length(graph, u, v)
+    print(f"network: dumbbell, {graph.number_of_nodes()} nodes, dist(u, v) = {dist}, B = 8")
+    print(f"{'b':>6s} {'classical rounds':>17s} {'quantum rounds':>15s} {'queries':>8s} {'verdicts':>9s}")
+
+    rng = random.Random(0)
+    for b in (16, 64, 256, 1024):
+        x = tuple(rng.randrange(2) for _ in range(b))
+        y = tuple(0 if a else rng.randrange(2) for a in x)  # disjoint
+        c_verdict, c_run = run_classical_disjointness(graph, u, v, x, y, bandwidth=8)
+        q_verdict, q_run, queries = run_quantum_disjointness(graph, u, v, x, y, bandwidth=8, seed=b)
+        print(
+            f"{b:6d} {c_run.rounds:17d} {q_run.rounds:15d} {queries:8d} "
+            f"{str(c_verdict) + '/' + str(q_verdict):>9s}"
+        )
+
+    print("\nclassical rounds grow ~ b/B (linear); quantum ~ 2 D sqrt(b).")
+    print("For global problems like MST the paper proves no such trick exists.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,669 @@
+"""Distributed minimum spanning tree.
+
+Two algorithms, both measured on the CONGEST simulator:
+
+- :class:`BoruvkaMSTProgram` -- classic GHS/Boruvka fragment merging with
+  safe (``O(n)``) flood budgets per iteration.  Simple and exactly correct;
+  the reference implementation tests are cross-checked against networkx.
+
+- :class:`GKPMSTProgram` -- the Garay-Kutten-Peleg shape [GKP98, KP98] the
+  paper cites as the ``O~(sqrt(n) + D)`` upper bound: *Phase A* runs
+  controlled Boruvka with fragment-size cap ``sqrt(n)`` and ``O(sqrt(n))``
+  flood budgets; *Phase B* elects a leader, builds a BFS tree, and finishes
+  by pipelining per-fragment minimum outgoing edges to the root, which merges
+  fragments centrally and downcasts relabelings.  Measured rounds scale as
+  ``~ sqrt(n) log n + D log n``, the shape Theorem 3.8 is tight against.
+
+Both algorithms assume distinct edge weights (ties are broken by the
+canonical edge key, which is equivalent to perturbing weights), so the MST
+is unique.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Hashable
+
+import networkx as nx
+
+from repro.algorithms.framework import (
+    BfsTreePhase,
+    BroadcastPhase,
+    LeaderElectionPhase,
+    Phase,
+    PhasedProgram,
+    PipelinedDowncastPhase,
+    PipelinedUpcastPhase,
+)
+from repro.congest.message import Received
+from repro.congest.network import CongestNetwork, RunResult
+from repro.congest.node import Node, NodeProgram
+
+
+def edge_key(weight: float, u: Hashable, v: Hashable) -> tuple:
+    """Canonical total order on edges: by weight, then endpoint names."""
+    a, b = sorted((repr(u), repr(v)))
+    return (float(weight), a, b)
+
+
+def _control_bits(node: Node, floats: int = 0, ids: int = 0, extra: int = 8) -> int:
+    """Honest bit size of a control message: ids cost ``ceil(log2 n)`` bits,
+    weights 64 bits, plus a small tag/header allowance.  (The simulator's
+    default payload sizing charges repr-string lengths, which would bill the
+    *encoding*, not the information.)"""
+    id_bits = max(8, math.ceil(math.log2(max(2, node.n_nodes))) + 1)
+    return extra + 64 * floats + id_bits * ids
+
+
+def _mate_coin(label, iteration: int) -> int:
+    """Deterministic random-mate coin: 1 = head (absorbs), 0 = tail
+    (joins).  Derived from the fragment label and iteration so that all
+    members of a fragment agree without communication."""
+    import hashlib
+
+    digest = hashlib.sha256(f"{label!r}|{iteration}".encode()).digest()
+    return digest[0] & 1
+
+
+def _allowed_neighbors(node: Node) -> list:
+    """Neighbours reachable through *mergeable* edges.
+
+    By default all incident edges qualify; when the node input carries
+    ``m_neighbors`` (a set of neighbour ids), fragment growth is restricted
+    to the marked subnetwork ``M`` -- this is how the verification suite
+    reuses the MST machinery to compute components of ``M``.
+    """
+    inputs = node.input if isinstance(node.input, dict) else {}
+    marks = inputs.get("m_neighbors")
+    if marks is None:
+        return node.neighbors
+    mark_reprs = {repr(m) for m in marks}
+    return [nb for nb in node.neighbors if repr(nb) in mark_reprs]
+
+
+def _min_outgoing(node: Node, label_of: dict, my_label) -> tuple | None:
+    """The node's lightest incident (allowed) edge leaving its fragment, as
+    ``(key, u, v)`` with ``u = node.id``."""
+    best = None
+    for neighbor in _allowed_neighbors(node):
+        if label_of.get(repr(neighbor), my_label) == my_label:
+            continue
+        key = edge_key(node.edge_weight(neighbor), node.id, neighbor)
+        if best is None or key < best[0]:
+            best = (key, node.id, neighbor)
+    return best
+
+
+class _FragmentState:
+    """Per-node fragment bookkeeping shared by both MST programs."""
+
+    def __init__(self, node: Node):
+        self.label = node.id
+        self.tree_neighbors: set = set()  # MST edges chosen so far (local view)
+        self.neighbor_labels: dict[str, Any] = {}
+
+
+class BoruvkaMSTProgram(NodeProgram):
+    """Classic Boruvka with per-iteration schedule:
+
+    1. announce label to all neighbours (1 round);
+    2. flood the fragment's minimum outgoing edge over tree edges (budget);
+    3. the winning endpoint adds the edge and notifies across it (2 rounds);
+    4. re-flood labels over the enlarged tree (budget).
+
+    Fragment count at least halves per iteration, so ``ceil(log2 n) + 1``
+    iterations complete the MST.
+    """
+
+    def __init__(self, flood_budget: int | None = None):
+        self.flood_budget = flood_budget
+        self.state: _FragmentState | None = None
+
+    # Schedule bookkeeping -----------------------------------------------
+
+    def _budget(self, node: Node) -> int:
+        return self.flood_budget if self.flood_budget is not None else node.n_nodes + 1
+
+    def _iterations(self, node: Node) -> int:
+        return max(1, math.ceil(math.log2(node.n_nodes)) + 1) if node.n_nodes > 1 else 1
+
+    def _iteration_length(self, node: Node) -> int:
+        return 2 * self._budget(node) + 4
+
+    def on_start(self, node: Node) -> None:
+        self.state = _FragmentState(node)
+        node.broadcast(("label", self.state.label), bits=_control_bits(node, ids=1))
+
+    def on_round(self, node: Node, round_no: int, inbox: list[Received]) -> None:
+        state = self.state
+        assert state is not None
+        budget = self._budget(node)
+        length = self._iteration_length(node)
+        iteration, r = divmod(round_no - 1, length)
+        r += 1  # 1-based within iteration
+
+        if iteration >= self._iterations(node):
+            node.halt(
+                {
+                    "label": state.label,
+                    "tree_edges": sorted((repr(node.id), repr(x)) for x in state.tree_neighbors),
+                    "tree_neighbors": sorted(state.tree_neighbors, key=repr),
+                }
+            )
+            return
+
+        for msg in inbox:
+            tag = msg.payload[0]
+            if tag == "label":
+                state.neighbor_labels[repr(msg.sender)] = msg.payload[1]
+            elif tag == "cand":
+                incoming = msg.payload[1]
+                if self._better(incoming, state.__dict__.get("best_cand")):
+                    state.__dict__["best_cand"] = incoming
+                    state.__dict__["cand_dirty"] = True
+            elif tag == "chosen":
+                state.tree_neighbors.add(msg.sender)
+                # Re-announce our label across the new edge.
+                state.__dict__["label_dirty"] = True
+            elif tag == "newlabel":
+                incoming = msg.payload[1]
+                if repr(incoming) < repr(state.label):
+                    state.label = incoming
+                    state.__dict__["label_dirty"] = True
+
+        if r == 1:
+            # Labels from the announcement arrive now; compute local candidate.
+            candidate = _min_outgoing(node, state.neighbor_labels, state.label)
+            state.__dict__["best_cand"] = candidate
+            state.__dict__["cand_dirty"] = True
+
+        if 1 <= r <= budget + 1:
+            if state.__dict__.get("cand_dirty") and state.__dict__.get("best_cand"):
+                for neighbor in state.tree_neighbors:
+                    node.send(
+                        neighbor,
+                        ("cand", state.__dict__["best_cand"]),
+                        bits=_control_bits(node, floats=1, ids=3, extra=16),
+                    )
+                state.__dict__["cand_dirty"] = False
+
+        if r == budget + 2:
+            best = state.__dict__.get("best_cand")
+            if best is not None and best[1] == node.id:
+                _, _, other = best
+                state.tree_neighbors.add(other)
+                node.send(other, ("chosen",), bits=8)
+            state.__dict__["label_dirty"] = True
+
+        if budget + 2 <= r <= 2 * budget + 3:
+            if state.__dict__.get("label_dirty"):
+                for neighbor in state.tree_neighbors:
+                    node.send(neighbor, ("newlabel", state.label), bits=_control_bits(node, ids=1))
+                state.__dict__["label_dirty"] = False
+
+        if r == length:
+            # Prepare the next iteration: announce the (new) label.
+            state.neighbor_labels.clear()
+            state.__dict__.pop("best_cand", None)
+            node.broadcast(("label", state.label), bits=_control_bits(node, ids=1))
+
+    @staticmethod
+    def _better(a: tuple | None, b: tuple | None) -> bool:
+        if a is None:
+            return False
+        if b is None:
+            return True
+        return a[0] < b[0]
+
+
+# -- Phase A of GKP: controlled Boruvka ---------------------------------------
+
+
+class ControlledBoruvkaPhase(Phase):
+    """Boruvka iterations with fragment-size cap and bounded flood budgets.
+
+    Fragments stop *proposing* once their size reaches ``cap`` (they may
+    still absorb smaller proposers), which keeps fragment diameters -- and
+    hence flood budgets -- ``O(cap)`` and leaves at most ``~ n / cap``
+    fragments for Phase B.
+    """
+
+    name = "controlled-boruvka"
+
+    def __init__(self, cap: int | None = None, iterations: int | None = None):
+        self.cap = cap
+        self.iterations = iterations
+
+    def _cap(self, node: Node) -> int:
+        return self.cap if self.cap is not None else max(2, math.ceil(math.sqrt(node.n_nodes)))
+
+    def _iterations(self, node: Node) -> int:
+        return self.iterations if self.iterations is not None else max(1, math.ceil(math.log2(self._cap(node))) + 1)
+
+    def _budget(self, node: Node) -> int:
+        # Fragment diameters stay below this budget: proposers need
+        # (estimated) diameter < cap, absorbers stop at 3 cap, and the
+        # merged-diameter estimate 2 (mine + theirs) + 2 over-counts the
+        # worst one-iteration composition of a mutual merge plus
+        # absorptions, giving <= 2 (3 cap) + 2 cap + 2 < 10 cap + 10.
+        # Every label flood therefore converges within the budget, keeping
+        # labels consistent at each iteration start (the correctness
+        # invariant; Phase B's equivalence repair backstops it regardless).
+        cap = self._cap(node)
+        return min(node.n_nodes + 1, 10 * cap + 10)
+
+    def _iteration_length(self, node: Node) -> int:
+        # announce(1) + candidate flood (budget) + propose/accept (arrival
+        # tolerant) + relabel flood (budget, with chunking slack).
+        return 3 * self._budget(node) + 10
+
+    def duration(self, node: Node, shared: dict) -> int:
+        return self._iterations(node) * self._iteration_length(node)
+
+    def on_enter(self, node: Node, shared: dict) -> None:
+        shared["frag_label"] = node.id
+        shared["frag_tree"] = set()
+        shared["frag_diam"] = 0
+        shared["_nlabels"] = {}
+        node.broadcast(("label", node.id), bits=_control_bits(node, ids=1))
+
+    def on_round(self, node: Node, round_in_phase: int, inbox: list[Received], shared: dict) -> None:
+        budget = self._budget(node)
+        length = self._iteration_length(node)
+        _iteration, r = divmod(round_in_phase - 1, length)
+        r += 1
+
+        cap = self._cap(node)
+        for msg in inbox:
+            tag = msg.payload[0]
+            if tag == "label":
+                shared["_nlabels"][repr(msg.sender)] = msg.payload[1]
+            elif tag == "cand":
+                cand, diam = msg.payload[1], msg.payload[2]
+                shared["_diam_est"] = max(shared.get("_diam_est", 0), diam)
+                if self._better(cand, shared.get("_best_cand")):
+                    shared["_best_cand"] = cand
+                    shared["_dirty"] = True
+            elif tag == "propose":
+                # Proposals are processed on arrival (they may be chunked
+                # over several rounds): star contraction -- mutual pairs
+                # always merge; one-sided proposals are accepted only by
+                # "head" fragments (deterministic pseudo-random coin per
+                # fragment per iteration) from "tail" proposers, and heads
+                # stop absorbing at diameter 3 cap.  Merge components are
+                # depth-one stars, so all diameters stay below the flood
+                # budget (see _budget) and every label flood converges.
+                sender = msg.sender
+                other_label, key, their_coin, their_diam = msg.payload[1:]
+                if repr(other_label) == repr(shared["frag_label"]):
+                    continue  # stale proposal from our own fragment
+                best = shared.get("_best_cand")
+                my_diam = shared.get("_diam_est", 0)
+                my_coin = _mate_coin(shared["frag_label"], _iteration)
+                mutual = (
+                    best is not None
+                    and best[1] == node.id
+                    and best[2] == sender
+                    and best[0] == key
+                )
+                absorb = my_coin == 1 and their_coin == 0 and my_diam < 3 * cap
+                if mutual or absorb:
+                    merged_diam = 2 * my_diam + 2 * their_diam + 2
+                    shared["frag_tree"].add(sender)
+                    shared["frag_diam"] = max(shared["frag_diam"], merged_diam)
+                    shared["_ldirty"] = True
+                    if not mutual:
+                        node.send(sender, ("accept", merged_diam), bits=24)
+            elif tag == "accept":
+                shared["frag_tree"].add(msg.sender)
+                shared["frag_diam"] = max(shared["frag_diam"], msg.payload[1])
+                shared["_ldirty"] = True
+            elif tag == "newlabel":
+                if repr(msg.payload[1]) < repr(shared["frag_label"]) or (
+                    repr(msg.payload[1]) == repr(shared["frag_label"])
+                    and msg.payload[2] > shared["frag_diam"]
+                ):
+                    shared["frag_label"] = msg.payload[1]
+                    shared["frag_diam"] = max(shared["frag_diam"], msg.payload[2])
+                    shared["_ldirty"] = True
+
+        if r == 1:
+            candidate = _min_outgoing(node, shared["_nlabels"], shared["frag_label"])
+            shared["_best_cand"] = candidate
+            shared["_diam_est"] = shared.get("frag_diam", 0)
+            shared["_dirty"] = True
+
+        if 1 <= r <= budget + 1:
+            if shared.get("_dirty") and shared.get("_best_cand"):
+                for neighbor in shared["frag_tree"]:
+                    node.send(
+                        neighbor,
+                        ("cand", shared["_best_cand"], shared["_diam_est"]),
+                        bits=_control_bits(node, floats=1, ids=3, extra=32),
+                    )
+                shared["_dirty"] = False
+
+        if r == budget + 2:
+            # Propose along the fragment's minimum outgoing edge (small-
+            # diameter fragments only).
+            best = shared.get("_best_cand")
+            diam = shared.get("_diam_est", 0)
+            if diam < cap and best is not None and best[1] == node.id:
+                _key, _me, other = best
+                coin = _mate_coin(shared["frag_label"], _iteration)
+                node.send(
+                    other,
+                    ("propose", shared["frag_label"], best[0], coin, diam),
+                    bits=_control_bits(node, floats=1, ids=4, extra=32),
+                )
+
+        if budget + 2 <= r < length:
+            if shared.get("_ldirty"):
+                for neighbor in shared["frag_tree"]:
+                    node.send(
+                        neighbor,
+                        ("newlabel", shared["frag_label"], shared["frag_diam"]),
+                        bits=_control_bits(node, ids=1, extra=32),
+                    )
+                shared["_ldirty"] = False
+
+        if r == length:
+            shared["_nlabels"].clear()
+            shared.pop("_best_cand", None)
+            node.broadcast(("label", shared["frag_label"]), bits=_control_bits(node, ids=1))
+
+    def on_exit(self, node: Node, shared: dict) -> None:
+        shared["mst_neighbors"] = set(shared["frag_tree"])
+        for key in ("_nlabels", "_best_cand", "_dirty", "_ldirty", "_diam_est", "_proposals_in"):
+            shared.pop(key, None)
+
+    @staticmethod
+    def _better(a: tuple | None, b: tuple | None) -> bool:
+        if a is None:
+            return False
+        if b is None:
+            return True
+        return a[0] < b[0]
+
+
+# -- Phase B of GKP: central merging over the BFS tree ------------------------
+
+
+class _AnnounceLabelsPhase(Phase):
+    """One round: everyone tells neighbours their current fragment label."""
+
+    name = "announce-labels"
+
+    def duration(self, node: Node, shared: dict) -> int:
+        return 2
+
+    def on_enter(self, node: Node, shared: dict) -> None:
+        node.broadcast(("flabel", shared["frag_label"]), bits=_control_bits(node, ids=1))
+
+    def on_round(self, node: Node, r: int, inbox: list[Received], shared: dict) -> None:
+        for msg in inbox:
+            if msg.payload[0] == "flabel":
+                shared.setdefault("_phaseb_nlabels", {})[repr(msg.sender)] = msg.payload[1]
+
+
+class _CollectCandidatesPhase(Phase):
+    """Prepare each node's upcast items: its fragment's candidate edge plus
+    label-equivalence repairs.
+
+    A *repair* item ``("equiv", l1, l2)`` is emitted whenever a tree edge
+    (already part of the MST under construction) connects two different
+    labels -- which happens exactly when a Phase-A label flood did not fully
+    converge.  The root unions equivalent labels before processing
+    proposals, so the central merge is correct regardless of Phase A's
+    budgets (Phase A is thereby a pure optimisation).
+    """
+
+    name = "collect-candidates"
+
+    def duration(self, node: Node, shared: dict) -> int:
+        return 0
+
+    def on_enter(self, node: Node, shared: dict) -> None:
+        labels = shared.get("_phaseb_nlabels", {})
+        my_label = shared["frag_label"]
+        items: list[tuple] = []
+        for neighbor in sorted(shared["mst_neighbors"], key=repr):
+            other_label = labels.get(repr(neighbor), my_label)
+            if repr(other_label) != repr(my_label):
+                pair = sorted((my_label, other_label), key=repr)
+                items.append(("equiv", pair[0], pair[1]))
+        best = None
+        for neighbor in _allowed_neighbors(node):
+            other_label = labels.get(repr(neighbor), my_label)
+            if repr(other_label) == repr(my_label):
+                continue
+            if repr(neighbor) in {repr(m) for m in shared["mst_neighbors"]}:
+                continue  # already a tree edge
+            key = edge_key(node.edge_weight(neighbor), node.id, neighbor)
+            if best is None or key < best[1]:
+                best = ("prop", key, node.id, neighbor, my_label, other_label)
+        if best is not None:
+            items.append(best)
+        shared["proposals"] = items
+
+
+def _fragment_min_reducer(items: list) -> list:
+    """Keep the lightest proposal per source-fragment label; dedupe repairs."""
+    best: dict[str, tuple] = {}
+    equivs: set[tuple] = set()
+    for item in items:
+        if item is None:
+            continue
+        if item[0] == "equiv":
+            equivs.add(item)
+            continue
+        key_label = repr(item[4])
+        if key_label not in best or item[1] < best[key_label][1]:
+            best[key_label] = item
+    return sorted(equivs, key=repr) + sorted(best.values(), key=repr)
+
+
+class _CentralMergePhase(Phase):
+    """Root merges fragments along all received proposals (all are MST edges
+    by the cut rule) and prepares the relabel/edge item list to downcast."""
+
+    name = "central-merge"
+
+    def duration(self, node: Node, shared: dict) -> int:
+        return 0
+
+    def on_enter(self, node: Node, shared: dict) -> None:
+        if shared["parent"] is not None:
+            shared["decisions"] = []
+            return
+        collected = shared.get("collected") or []
+        equivs = [it for it in collected if it[0] == "equiv"]
+        proposals = [it for it in collected if it[0] == "prop"]
+        parent: dict[str, Any] = {}
+
+        def find(label) -> Any:
+            root = label
+            while repr(root) in parent:
+                root = parent[repr(root)]
+            return root
+
+        def union(la, lb) -> bool:
+            ra, rb = find(la), find(lb)
+            if repr(ra) == repr(rb):
+                return False
+            keep, drop = (ra, rb) if repr(ra) < repr(rb) else (rb, ra)
+            parent[repr(drop)] = keep
+            return True
+
+        # Repairs first: labels joined by existing tree edges are the same
+        # fragment, no matter what Phase A's floods managed to propagate.
+        for _tag, l1, l2 in equivs:
+            union(l1, l2)
+        # Keep only each fragment's *minimum* proposal: the pipeline cannot
+        # retract an already-forwarded item, so the root may receive several
+        # proposals per source label -- only the fragment minimum is an MST
+        # edge by the cut rule.
+        best_per_label: dict[str, tuple] = {}
+        for item in proposals:
+            lu = repr(find(item[4]))
+            if lu not in best_per_label or item[1] < best_per_label[lu][1]:
+                best_per_label[lu] = item
+        decisions = []
+        for item in sorted(best_per_label.values(), key=lambda it: it[1]):
+            _tag, _key, u, v, lu, lv = item
+            if union(lu, lv):
+                decisions.append(("edge", u, v))
+        seen_labels = {repr(it[4]): it[4] for it in proposals}
+        seen_labels.update({repr(it[5]): it[5] for it in proposals})
+        seen_labels.update({repr(it[1]): it[1] for it in equivs})
+        seen_labels.update({repr(it[2]): it[2] for it in equivs})
+        for rep, label in sorted(seen_labels.items()):
+            final = find(label)
+            if repr(final) != rep:
+                decisions.append(("relabel", label, final))
+        shared["decisions"] = decisions
+        shared["merges_done"] = sum(1 for d in decisions if d[0] == "edge")
+
+
+class _ApplyDecisionsPhase(Phase):
+    """Everyone applies the downcast relabelings and marks chosen edges."""
+
+    name = "apply-decisions"
+
+    def duration(self, node: Node, shared: dict) -> int:
+        return 0
+
+    def on_enter(self, node: Node, shared: dict) -> None:
+        relabel: dict[str, Any] = {}
+        for item in shared.get("decisions") or []:
+            if item[0] == "relabel":
+                relabel[repr(item[1])] = item[2]
+            elif item[0] == "edge":
+                _tag, u, v = item
+                if node.id == u:
+                    shared["mst_neighbors"].add(v)
+                elif node.id == v:
+                    shared["mst_neighbors"].add(u)
+        me = repr(shared["frag_label"])
+        if me in relabel:
+            shared["frag_label"] = relabel[me]
+        shared.pop("_phaseb_nlabels", None)
+
+
+class _OutputPhase(Phase):
+    name = "output"
+
+    def duration(self, node: Node, shared: dict) -> int:
+        return 0
+
+    def on_enter(self, node: Node, shared: dict) -> None:
+        shared["output"] = {
+            "label": shared["frag_label"],
+            "tree_neighbors": sorted(shared["mst_neighbors"], key=repr),
+        }
+
+
+class GKPMSTProgram(PhasedProgram):
+    """The full two-phase ``O~(sqrt(n) + D)`` MST algorithm."""
+
+    def __init__(self, cap: int | None = None, phase_b_iterations: int | None = None, capacity: int | None = None):
+        self._cap = cap
+        phases: list[Phase] = [
+            ControlledBoruvkaPhase(cap=cap),
+            LeaderElectionPhase(),
+            BfsTreePhase(),
+            _SetCapacityPhase(cap=cap, capacity=capacity),
+        ]
+        iterations = phase_b_iterations
+        if iterations is None:
+            iterations = 20  # overwritten below when n is known; safe default
+        self._phase_b_iterations = phase_b_iterations
+        for _ in range(iterations):
+            phases.extend(
+                [
+                    _AnnounceLabelsPhase(),
+                    _CollectCandidatesPhase(),
+                    PipelinedUpcastPhase(
+                        "proposals", "collected", "phase_b_capacity", reducer=_fragment_min_reducer
+                    ),
+                    _CentralMergePhase(),
+                    PipelinedDowncastPhase("decisions", "phase_b_capacity"),
+                    _ApplyDecisionsPhase(),
+                ]
+            )
+        phases.append(_OutputPhase())
+        super().__init__(phases)
+
+
+class _SetCapacityPhase(Phase):
+    """Fix the Phase-B pipeline capacity from common knowledge."""
+
+    name = "set-capacity"
+
+    def __init__(self, cap: int | None = None, capacity: int | None = None):
+        self.cap = cap
+        self.capacity = capacity
+
+    def duration(self, node: Node, shared: dict) -> int:
+        return 0
+
+    def on_enter(self, node: Node, shared: dict) -> None:
+        if self.capacity is not None:
+            shared["phase_b_capacity"] = self.capacity
+            return
+        cap = self.cap if self.cap is not None else max(2, math.ceil(math.sqrt(node.n_nodes)))
+        # Phase A leaves ~ n / cap fragments; the pipeline carries one
+        # proposal per fragment plus equivalence repairs, and the downcast
+        # one relabel + one edge per merge -- sized with generous slack.
+        shared["phase_b_capacity"] = min(node.n_nodes + 1, 12 * max(2, node.n_nodes // cap) + 24)
+
+
+# -- harness helpers -----------------------------------------------------------
+
+
+def collect_tree_edges(outputs: dict[Hashable, Any]) -> set[frozenset]:
+    edges: set[frozenset] = set()
+    for node_id, output in outputs.items():
+        for neighbor in output["tree_neighbors"]:
+            edges.add(frozenset((node_id, neighbor)))
+    return edges
+
+
+def tree_weight(graph: nx.Graph, edges: set[frozenset], weight: str = "weight") -> float:
+    return sum(graph.edges[tuple(e)][weight] for e in edges)
+
+
+def run_boruvka_mst(
+    graph: nx.Graph, bandwidth: int = 64, seed: int | None = 0, max_rounds: int = 500_000
+) -> tuple[set[frozenset], RunResult]:
+    """Run Boruvka MST; returns (tree edges, run metrics)."""
+    network = CongestNetwork(graph, BoruvkaMSTProgram, bandwidth=bandwidth, seed=seed)
+    result = network.run(max_rounds=max_rounds)
+    return collect_tree_edges(result.outputs), result
+
+
+def run_gkp_mst(
+    graph: nx.Graph,
+    bandwidth: int = 64,
+    diameter_bound: int | None = None,
+    cap: int | None = None,
+    seed: int | None = 0,
+    max_rounds: int = 500_000,
+) -> tuple[set[frozenset], RunResult]:
+    """Run the GKP-style MST; returns (tree edges, run metrics)."""
+    d = diameter_bound if diameter_bound is not None else nx.diameter(graph)
+    n = graph.number_of_nodes()
+    frag_cap = cap if cap is not None else max(2, math.ceil(math.sqrt(n)))
+    # Phase A leaves ~ n / cap fragments and Phase B at least halves the
+    # count per iteration; +2 iterations of slack absorb Phase-A stalls.
+    iterations = max(3, math.ceil(math.log2(max(2, n / frag_cap))) + 2)
+    inputs = {node: {"diameter_bound": d} for node in graph.nodes()}
+    network = CongestNetwork(
+        graph,
+        lambda: GKPMSTProgram(cap=cap, phase_b_iterations=iterations),
+        bandwidth=bandwidth,
+        seed=seed,
+        inputs=inputs,
+    )
+    result = network.run(max_rounds=max_rounds)
+    return collect_tree_edges(result.outputs), result

@@ -1,0 +1,84 @@
+"""Distributed shortest paths: Bellman-Ford and BFS layering.
+
+The ``s``-source distance / shortest-path-tree problems of Corollary 3.9.
+Distributed Bellman-Ford is the textbook upper bound: each node relaxes its
+tentative distance and re-announces on improvement; the run terminates at
+quiescence after (hop-depth of the shortest-path tree) rounds.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import networkx as nx
+
+from repro.congest.message import Received
+from repro.congest.network import CongestNetwork, RunResult
+from repro.congest.node import Node, NodeProgram
+
+
+class BellmanFordProgram(NodeProgram):
+    """Self-stabilising distance relaxation from a source.
+
+    Node input: ``{"is_source": bool}``.  Output: ``(distance, parent)``.
+    """
+
+    def __init__(self, weighted: bool = True):
+        self.weighted = weighted
+        self.distance: float | None = None
+        self.parent: Hashable | None = None
+
+    def on_start(self, node: Node) -> None:
+        inputs = node.input or {}
+        if inputs.get("is_source"):
+            self.distance = 0.0
+            node.broadcast(("dist", 0.0), bits=72)
+        node.output = (self.distance, self.parent)
+
+    def on_round(self, node: Node, round_no: int, inbox: list[Received]) -> None:
+        improved = False
+        for msg in inbox:
+            _, their_distance = msg.payload
+            weight = node.edge_weight(msg.sender) if self.weighted else 1.0
+            candidate = their_distance + weight
+            if self.distance is None or candidate < self.distance:
+                self.distance = candidate
+                self.parent = msg.sender
+                improved = True
+        if improved:
+            node.broadcast(("dist", self.distance), bits=72)
+        node.output = (self.distance, self.parent)
+
+
+def run_bellman_ford(
+    graph: nx.Graph,
+    source: Hashable,
+    bandwidth: int = 128,
+    weighted: bool = True,
+    seed: int | None = 0,
+    max_rounds: int = 100_000,
+) -> tuple[dict[Hashable, float], RunResult]:
+    """Run distributed Bellman-Ford; returns ({node: distance}, metrics)."""
+    inputs = {node: {"is_source": node == source} for node in graph.nodes()}
+    network = CongestNetwork(
+        graph, lambda: BellmanFordProgram(weighted=weighted), bandwidth=bandwidth, seed=seed, inputs=inputs
+    )
+    result = network.run(max_rounds=max_rounds, stop_on_quiescence=True)
+    distances = {node: out[0] for node, out in result.outputs.items()}
+    return distances, result
+
+
+def run_bfs_distances(
+    graph: nx.Graph, source: Hashable, bandwidth: int = 128, seed: int | None = 0
+) -> tuple[dict[Hashable, float], RunResult]:
+    """Unweighted distances (BFS layering) via the same relaxation program."""
+    return run_bellman_ford(graph, source, bandwidth=bandwidth, weighted=False, seed=seed)
+
+
+def shortest_path_tree_edges(result: RunResult) -> set[frozenset]:
+    """Extract the shortest-path-tree edges from a Bellman-Ford run."""
+    edges = set()
+    for node, (_dist, parent) in result.outputs.items():
+        if parent is not None:
+            edges.add(frozenset((node, parent)))
+    return edges

@@ -1,0 +1,91 @@
+"""Classical two-party protocols (upper bounds).
+
+These are the baselines the paper's quantum protocols are measured against:
+the trivial send-everything protocol (n + 1 bits, matching the Omega(n)
+deterministic bounds), the public-coin randomized Equality protocol (O(k)
+bits for error 2^-k), and exact evaluators for the inner-product problems.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.comm.protocols import Channel, TwoPartyProtocol
+
+
+class SendAllProtocol(TwoPartyProtocol):
+    """Alice ships her whole input; Bob evaluates and returns the answer.
+
+    Cost ``n + 1`` bits -- the deterministic upper bound every boolean
+    function admits, and the benchmark the Omega(n) lower bounds meet.
+    """
+
+    name = "send-all"
+
+    def __init__(self, evaluate):
+        self.evaluate = evaluate
+
+    def execute(self, x: Sequence[int], y: Sequence[int], channel: Channel, rng: random.Random):
+        received = channel.alice_sends(tuple(x), bits=max(1, len(x)))
+        answer = self.evaluate(received, y)
+        channel.bob_sends(answer, bits=1)
+        return answer
+
+
+class RandomizedEqualityProtocol(TwoPartyProtocol):
+    """Public-coin Equality: ``k`` random inner-product checks.
+
+    One-sided error: equal inputs always accept; unequal inputs are accepted
+    with probability ``2^-k``.  Cost ``k + 1`` bits.
+    """
+
+    name = "randomized-equality"
+
+    def __init__(self, repetitions: int = 10):
+        if repetitions < 1:
+            raise ValueError("need at least one repetition")
+        self.repetitions = repetitions
+
+    def execute(self, x: Sequence[int], y: Sequence[int], channel: Channel, rng: random.Random):
+        n = len(x)
+        # Public coins: both players see the same random vectors for free.
+        coins = [[rng.randrange(2) for _ in range(n)] for _ in range(self.repetitions)]
+        alice_parities = tuple(sum(r[i] * x[i] for i in range(n)) % 2 for r in coins)
+        received = channel.alice_sends(alice_parities, bits=self.repetitions)
+        bob_parities = tuple(sum(r[i] * y[i] for i in range(n)) % 2 for r in coins)
+        answer = int(received == bob_parities)
+        channel.bob_sends(answer, bits=1)
+        return answer
+
+
+class DeterministicDisjointnessProtocol(SendAllProtocol):
+    """Disjointness by shipping ``x``: the Theta(n) classical cost of
+    Example 1.1's baseline."""
+
+    name = "deterministic-disjointness"
+
+    def __init__(self):
+        super().__init__(lambda x, y: int(all(a * b == 0 for a, b in zip(x, y))))
+
+
+class DeterministicIPmod3Protocol(SendAllProtocol):
+    """IPmod3 by shipping ``x`` (no better classical protocol exists:
+    Theorem 6.1 gives Omega(n) even quantumly, even in the Server model)."""
+
+    name = "deterministic-ipmod3"
+
+    def __init__(self):
+        super().__init__(lambda x, y: int(sum(a * b for a, b in zip(x, y)) % 3 == 0))
+
+
+class HammingDistanceThresholdProtocol(TwoPartyProtocol):
+    """Decides Gap-Eq exactly by shipping ``x`` (cost n + 1)."""
+
+    name = "send-all-gap-equality"
+
+    def execute(self, x: Sequence[int], y: Sequence[int], channel: Channel, rng: random.Random):
+        received = channel.alice_sends(tuple(x), bits=max(1, len(x)))
+        answer = int(tuple(received) == tuple(y))
+        channel.bob_sends(answer, bits=1)
+        return answer

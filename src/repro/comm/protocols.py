@@ -1,0 +1,119 @@
+"""The two-party protocol framework with honest bit accounting.
+
+A protocol is an object whose :meth:`TwoPartyProtocol.execute` drives Alice
+and Bob through a shared :class:`Channel`.  The channel is the *only* way to
+move information between the players, and it counts every bit (and qubit).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+ALICE = "alice"
+BOB = "bob"
+
+
+@dataclass
+class TranscriptEntry:
+    sender: str
+    payload: Any
+    bits: int
+    quantum: bool
+
+
+@dataclass
+class ProtocolResult:
+    output: Any
+    alice_bits: int
+    bob_bits: int
+    alice_qubits: int
+    bob_qubits: int
+    transcript: list[TranscriptEntry] = field(default_factory=list)
+
+    @property
+    def total_bits(self) -> int:
+        return self.alice_bits + self.bob_bits
+
+    @property
+    def total_qubits(self) -> int:
+        return self.alice_qubits + self.bob_qubits
+
+    @property
+    def total_communication(self) -> int:
+        """Bits plus qubits -- the model's cost measure."""
+        return self.total_bits + self.total_qubits
+
+
+class Channel:
+    """A bidirectional channel between Alice and Bob with cost accounting."""
+
+    def __init__(self) -> None:
+        self.transcript: list[TranscriptEntry] = []
+        self.bits = {ALICE: 0, BOB: 0}
+        self.qubits = {ALICE: 0, BOB: 0}
+
+    def send(self, sender: str, payload: Any, bits: int, quantum: bool = False) -> Any:
+        """Record a transmission and hand the payload to the other player."""
+        if sender not in (ALICE, BOB):
+            raise ValueError("sender must be 'alice' or 'bob'")
+        if bits < 1:
+            raise ValueError("transmissions cost at least one bit")
+        if quantum:
+            self.qubits[sender] += bits
+        else:
+            self.bits[sender] += bits
+        self.transcript.append(TranscriptEntry(sender, payload, bits, quantum))
+        return payload
+
+    def alice_sends(self, payload: Any, bits: int, quantum: bool = False) -> Any:
+        return self.send(ALICE, payload, bits, quantum=quantum)
+
+    def bob_sends(self, payload: Any, bits: int, quantum: bool = False) -> Any:
+        return self.send(BOB, payload, bits, quantum=quantum)
+
+
+class TwoPartyProtocol:
+    """Base class for two-party protocols.
+
+    Subclasses implement :meth:`execute`, which must route all information
+    through the provided channel.  ``shared_randomness`` models the public
+    coin (which shared entanglement subsumes, footnote 2 of the paper).
+    """
+
+    name = "abstract-protocol"
+
+    def execute(self, x: Any, y: Any, channel: Channel, rng: random.Random) -> Any:
+        raise NotImplementedError
+
+    def run(self, x: Any, y: Any, seed: int | None = None) -> ProtocolResult:
+        rng = random.Random(seed)
+        channel = Channel()
+        output = self.execute(x, y, channel, rng)
+        return ProtocolResult(
+            output=output,
+            alice_bits=channel.bits[ALICE],
+            bob_bits=channel.bits[BOB],
+            alice_qubits=channel.qubits[ALICE],
+            bob_qubits=channel.qubits[BOB],
+            transcript=channel.transcript,
+        )
+
+    def error_rate(
+        self,
+        problem,
+        trials: int = 200,
+        seed: int = 0,
+        input_sampler=None,
+    ) -> float:
+        """Empirical error rate over sampled inputs."""
+        rng = random.Random(seed)
+        sampler = input_sampler or problem.sample_input
+        errors = 0
+        for t in range(trials):
+            x, y = sampler(rng)
+            result = self.run(x, y, seed=rng.randrange(2**31))
+            if result.output != problem.evaluate(x, y):
+                errors += 1
+        return errors / trials

@@ -1,0 +1,83 @@
+"""Quantum two-party protocols.
+
+Two canonical quantum upper bounds the paper leans on:
+
+- **Fingerprint Equality** [BCW98]: ``O(log n)`` qubits per repetition,
+  one-sided error.
+- **Grover Disjointness** [BCW98, AA05]: ``O(sqrt(n) log n)`` qubits.  Each
+  Grover query to ``g(i) = x_i AND y_i`` is realised distributively: Alice
+  holds the index register, ships it to Bob (``ceil(log n)`` qubits), Bob
+  phases by ``y_i`` conditioned on his bit, ships it back, and Alice phases
+  by ``x_i``.  This is the protocol that breaks the classical
+  Simulation-Theorem argument (Example 1.1) and forces the paper to route
+  hardness through IPmod3 instead of Disjointness.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Sequence
+
+from repro.comm.protocols import Channel, TwoPartyProtocol
+from repro.quantum.fingerprint import FingerprintEquality
+from repro.quantum.grover import grover_find_any
+
+
+class QuantumFingerprintEqualityProtocol(TwoPartyProtocol):
+    """Equality via quantum fingerprints and swap tests.
+
+    Alice sends ``repetitions`` fingerprint states of ``O(log n)`` qubits
+    each; the referee-free variant has Bob perform the swap tests against his
+    own fingerprints.
+    """
+
+    name = "quantum-fingerprint-equality"
+
+    def __init__(self, n_bits: int, repetitions: int = 10, seed: int | None = None):
+        self.scheme = FingerprintEquality(n_bits, seed=seed)
+        self.repetitions = repetitions
+
+    def execute(self, x: Sequence[int], y: Sequence[int], channel: Channel, rng: random.Random):
+        per_state = self.scheme.fingerprint_qubits
+        # Alice ships her fingerprint states; the payload records the inputs
+        # they encode (the simulator carries amplitudes out-of-band).
+        channel.alice_sends(("fingerprints", tuple(x)), bits=self.repetitions * per_state, quantum=True)
+        verdict = int(self.scheme.are_equal(x, y, repetitions=self.repetitions, rng=rng))
+        channel.bob_sends(verdict, bits=1)
+        return verdict
+
+
+class GroverDisjointnessProtocol(TwoPartyProtocol):
+    """Disjointness in ``O(sqrt(n) log n)`` qubits via distributed Grover.
+
+    Communication accounting per oracle query: the index register
+    (``ceil(log2 n)`` qubits) makes a round trip plus one target qubit, so
+    each query charges ``index_qubits + 1`` to Alice and ``index_qubits`` to
+    Bob.  Correctness is exercised by running the actual Grover iteration on
+    the statevector simulator (the distributed and local versions apply the
+    same unitary).
+    """
+
+    name = "grover-disjointness"
+
+    def execute(self, x: Sequence[int], y: Sequence[int], channel: Channel, rng: random.Random):
+        n = len(x)
+        index_qubits = max(1, math.ceil(math.log2(n)))
+
+        def oracle(i: int) -> bool:
+            return bool(x[i] and y[i])
+
+        found, queries = grover_find_any(oracle, n, rng=rng)
+        # Each query: Alice -> Bob (index register + target), Bob -> Alice (back).
+        for _ in range(queries):
+            channel.alice_sends("grover-query", bits=index_qubits + 1, quantum=True)
+            channel.bob_sends("grover-reply", bits=index_qubits + 1, quantum=True)
+        answer = int(found is None)  # disjoint iff no witness index exists
+        channel.alice_sends(answer, bits=1)
+        return answer
+
+    @staticmethod
+    def expected_communication(n: int) -> float:
+        """The O(sqrt(n) log n) scaling target used by benchmarks."""
+        return math.sqrt(n) * math.log2(max(2, n))

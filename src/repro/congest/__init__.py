@@ -1,0 +1,36 @@
+"""The CONGEST(B) distributed network simulator (Section 2.1, Appendix A.1).
+
+A synchronous message-passing simulator in which each directed edge carries
+at most ``B`` bits (or qubits) per round.  Local computation is free and
+unbounded, exactly as in the model; the simulator's job is honest accounting
+of rounds, messages and bits.
+
+- :mod:`repro.congest.message`  -- payload bit-size accounting.
+- :mod:`repro.congest.node`     -- node handles and the program interface.
+- :mod:`repro.congest.network`  -- the round scheduler and bandwidth model.
+- :mod:`repro.congest.topology` -- network families, including the
+  Simulation-Theorem network of Figs. 8/10/13.
+"""
+
+from repro.congest.message import QubitPayload, Received, bit_size
+from repro.congest.network import BandwidthExceeded, CongestNetwork, RunResult
+from repro.congest.node import Node, NodeProgram
+from repro.congest.topology import (
+    dumbbell_graph,
+    simulation_network,
+    simulation_network_parameters,
+)
+
+__all__ = [
+    "CongestNetwork",
+    "RunResult",
+    "BandwidthExceeded",
+    "Node",
+    "NodeProgram",
+    "Received",
+    "QubitPayload",
+    "bit_size",
+    "simulation_network",
+    "simulation_network_parameters",
+    "dumbbell_graph",
+]

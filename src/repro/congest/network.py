@@ -1,0 +1,224 @@
+"""The synchronous round scheduler and bandwidth model.
+
+Execution model (Appendix A.1): all nodes wake simultaneously; in each round
+every node may place at most ``B`` bits on each incident directed edge;
+messages arrive at the end of the round; local computation is free.
+
+Messages larger than ``B`` bits are legal at the API level and are
+transmitted over ``ceil(bits/B)`` consecutive rounds, arriving atomically --
+this models the standard pipelining argument and keeps round counts honest.
+In ``strict`` mode oversized sends raise instead, for algorithms that want to
+certify they never exceed the per-round budget.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable
+
+import networkx as nx
+
+from repro.congest.message import Received, _InFlight
+from repro.congest.node import Node, NodeProgram
+
+
+class BandwidthExceeded(RuntimeError):
+    """Raised in strict mode when a round's traffic on an edge exceeds B."""
+
+
+@dataclass
+class RunResult:
+    """Metrics of one distributed execution."""
+
+    rounds: int
+    total_messages: int
+    total_bits: int
+    outputs: dict[Hashable, Any]
+    halted: bool
+    max_edge_bits_per_round: int = 0
+    per_round_bits: list[int] = field(default_factory=list)
+
+    def output_values(self) -> set:
+        return set(self.outputs.values())
+
+    def unanimous_output(self) -> Any:
+        """The common output of all nodes; raises if nodes disagree."""
+        values = {repr(v) for v in self.outputs.values()}
+        if len(values) != 1:
+            raise ValueError(f"nodes disagree: {sorted(values)[:5]}")
+        return next(iter(self.outputs.values()))
+
+
+class CongestNetwork:
+    """A CONGEST(B) network over an undirected connected graph."""
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        program_factory: Callable[[], NodeProgram],
+        bandwidth: int = 32,
+        strict: bool = False,
+        seed: int | None = None,
+        inputs: dict[Hashable, Any] | None = None,
+        weight: str = "weight",
+    ):
+        if graph.number_of_nodes() == 0:
+            raise ValueError("network must have at least one node")
+        if bandwidth < 1:
+            raise ValueError("bandwidth must be at least 1")
+        self.graph = graph
+        self.bandwidth = bandwidth
+        self.strict = strict
+        self.weight_key = weight
+        self._rng = random.Random(seed)
+        self.n_nodes = graph.number_of_nodes()
+
+        self.nodes: dict[Hashable, Node] = {}
+        self.programs: dict[Hashable, NodeProgram] = {}
+        for node_id in sorted(graph.nodes(), key=repr):
+            neighbors = sorted(graph.neighbors(node_id), key=repr)
+            node = Node(node_id, neighbors, self, random.Random(self._rng.random()))
+            if inputs is not None and node_id in inputs:
+                node.input = inputs[node_id]
+            self.nodes[node_id] = node
+            self.programs[node_id] = program_factory()
+
+        # Per directed edge: FIFO of in-flight messages.
+        self._links: dict[tuple[Hashable, Hashable], deque[_InFlight]] = defaultdict(deque)
+        # Messages queued by sends during the current round.
+        self._outgoing: list[_InFlight] = []
+        self.total_messages = 0
+        self.total_bits = 0
+        self.max_edge_bits_per_round = 0
+        self.per_round_bits: list[int] = []
+        #: (round_sent, sender, receiver, bits) for every message.
+        self.message_log: list[tuple[int, Hashable, Hashable, int]] = []
+        self.current_round = 0
+
+    def edge_weight(self, u: Hashable, v: Hashable) -> float:
+        return self.graph.edges[u, v].get(self.weight_key, 1.0)
+
+    # -- plumbing used by Node.send ------------------------------------------
+
+    def _enqueue(self, sender: Hashable, receiver: Hashable, payload: Any, bits: int) -> None:
+        if self.strict and bits > self.bandwidth:
+            raise BandwidthExceeded(
+                f"message of {bits} bits exceeds B={self.bandwidth} on edge "
+                f"{sender!r}->{receiver!r}"
+            )
+        self._outgoing.append(_InFlight(sender, receiver, payload, bits, bits))
+        self.total_messages += 1
+        self.total_bits += bits
+        self.message_log.append((self.current_round, sender, receiver, bits))
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self, max_rounds: int = 100_000, stop_on_quiescence: bool = False) -> RunResult:
+        """Run until every node halts (or ``max_rounds`` elapse).
+
+        With ``stop_on_quiescence`` the run also ends once a round passes
+        with no deliveries, no sends and no traffic in flight -- the
+        termination model for self-stabilising programs (e.g. Bellman-Ford)
+        whose nodes cannot detect termination locally.
+        """
+        for node_id, program in self.programs.items():
+            program.on_start(self.nodes[node_id])
+        self._flush_outgoing()
+
+        round_no = 0
+        while round_no < max_rounds:
+            if all(node.halted for node in self.nodes.values()):
+                break
+            if (
+                stop_on_quiescence
+                and round_no > 0
+                and self.per_round_bits
+                and self.per_round_bits[-1] == 0
+                and self.pending_traffic() == 0
+                and not self._outgoing
+            ):
+                round_no -= 1  # the silent probe round does not count
+                break
+            round_no += 1
+            self.current_round = round_no
+            inboxes = self._advance_links()
+            for node_id in self.nodes:
+                node = self.nodes[node_id]
+                if node.halted:
+                    continue
+                self.programs[node_id].on_round(node, round_no, inboxes.get(node_id, []))
+            self._flush_outgoing()
+
+        halted = all(node.halted for node in self.nodes.values())
+        return RunResult(
+            rounds=round_no,
+            total_messages=self.total_messages,
+            total_bits=self.total_bits,
+            outputs={nid: node.output for nid, node in self.nodes.items()},
+            halted=halted,
+            max_edge_bits_per_round=self.max_edge_bits_per_round,
+            per_round_bits=self.per_round_bits,
+        )
+
+    def _flush_outgoing(self) -> None:
+        if self.strict:
+            per_edge: dict[tuple[Hashable, Hashable], int] = defaultdict(int)
+            for msg in self._outgoing:
+                per_edge[(msg.sender, msg.receiver)] += msg.bits
+            for (u, v), bits in per_edge.items():
+                if bits > self.bandwidth:
+                    raise BandwidthExceeded(
+                        f"{bits} bits queued on edge {u!r}->{v!r} in one round "
+                        f"(B={self.bandwidth})"
+                    )
+        for msg in self._outgoing:
+            self._links[(msg.sender, msg.receiver)].append(msg)
+        self._outgoing = []
+
+    def _advance_links(self) -> dict[Hashable, list[Received]]:
+        """Move B bits along every directed edge; collect completed messages."""
+        inboxes: dict[Hashable, list[Received]] = defaultdict(list)
+        round_bits = 0
+        for (sender, receiver), queue in self._links.items():
+            budget = self.bandwidth
+            while queue and budget > 0:
+                msg = queue[0]
+                moved = min(budget, msg.remaining)
+                msg.remaining -= moved
+                budget -= moved
+                round_bits += moved
+                if msg.remaining == 0:
+                    queue.popleft()
+                    inboxes[receiver].append(Received(sender, msg.payload, msg.bits))
+            used = self.bandwidth - budget
+            if used > self.max_edge_bits_per_round:
+                self.max_edge_bits_per_round = used
+        self.per_round_bits.append(round_bits)
+        return inboxes
+
+    def pending_traffic(self) -> int:
+        """Bits still in flight (useful for quiescence assertions in tests)."""
+        return sum(msg.remaining for queue in self._links.values() for msg in queue)
+
+
+def run_program(
+    graph: nx.Graph,
+    program_factory: Callable[[], NodeProgram],
+    bandwidth: int = 32,
+    inputs: dict[Hashable, Any] | None = None,
+    seed: int | None = None,
+    max_rounds: int = 100_000,
+    strict: bool = False,
+) -> RunResult:
+    """Convenience wrapper: build a network, run it, return the result."""
+    network = CongestNetwork(
+        graph,
+        program_factory,
+        bandwidth=bandwidth,
+        strict=strict,
+        seed=seed,
+        inputs=inputs,
+    )
+    return network.run(max_rounds=max_rounds)

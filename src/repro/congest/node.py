@@ -1,0 +1,103 @@
+"""Node handles and the node-program interface."""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Any, Hashable, Iterable
+
+from repro.congest.message import Received, bit_size
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.congest.network import CongestNetwork
+
+
+class Node:
+    """A processor in the network.
+
+    Exposes exactly the local knowledge the model grants (Section 2.1): its
+    own id, the ids of its neighbours, any problem-specific input, and a
+    source of randomness.  Everything else must arrive by message.
+    """
+
+    def __init__(
+        self,
+        node_id: Hashable,
+        neighbors: list[Hashable],
+        network: "CongestNetwork",
+        rng: random.Random,
+    ):
+        self.id = node_id
+        self.neighbors = neighbors
+        self.input: Any = None
+        self.rng = rng
+        self.output: Any = None
+        self.halted = False
+        self._network = network
+
+    # -- knowledge ----------------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes in the network (standard CONGEST assumption)."""
+        return self._network.n_nodes
+
+    @property
+    def bandwidth(self) -> int:
+        """The per-edge bandwidth ``B``."""
+        return self._network.bandwidth
+
+    def edge_weight(self, neighbor: Hashable) -> float:
+        """Weight of the incident edge (each node knows incident weights)."""
+        return self._network.edge_weight(self.id, neighbor)
+
+    # -- actions ------------------------------------------------------------
+
+    def send(self, neighbor: Hashable, payload: Any, bits: int | None = None) -> None:
+        """Queue a message on the link to ``neighbor``.
+
+        ``bits`` overrides the automatic size estimate; a message of more
+        than ``B`` bits is transmitted over ``ceil(bits / B)`` consecutive
+        rounds (honest pipelining) and delivered atomically.
+        """
+        if self.halted:
+            raise RuntimeError(f"halted node {self.id!r} cannot send")
+        if neighbor not in self._neighbor_set():
+            raise ValueError(f"{neighbor!r} is not a neighbor of {self.id!r}")
+        size = bit_size(payload) if bits is None else bits
+        if size < 1:
+            raise ValueError("messages cost at least one bit")
+        self._network._enqueue(self.id, neighbor, payload, size)
+
+    def broadcast(self, payload: Any, bits: int | None = None) -> None:
+        """Send the same payload to every neighbour."""
+        for neighbor in self.neighbors:
+            self.send(neighbor, payload, bits=bits)
+
+    def send_many(self, pairs: Iterable[tuple[Hashable, Any]]) -> None:
+        for neighbor, payload in pairs:
+            self.send(neighbor, payload)
+
+    def halt(self, output: Any = None) -> None:
+        """Stop participating; record the node's output."""
+        self.output = output
+        self.halted = True
+
+    def _neighbor_set(self) -> set:
+        if not hasattr(self, "_neighbors_cached"):
+            self._neighbors_cached = set(self.neighbors)
+        return self._neighbors_cached
+
+
+class NodeProgram:
+    """Base class for per-node algorithm logic.
+
+    One instance is created per node; instance attributes are the node's
+    local state.  Override :meth:`on_start` (runs before round 1; may send)
+    and :meth:`on_round` (runs every round with that round's inbox).
+    """
+
+    def on_start(self, node: Node) -> None:  # pragma: no cover - default no-op
+        pass
+
+    def on_round(self, node: Node, round_no: int, inbox: list[Received]) -> None:
+        raise NotImplementedError

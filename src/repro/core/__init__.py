@@ -1,0 +1,37 @@
+"""The paper's contribution: the lower-bound pipeline.
+
+    nonlocal games --> Server-model lower bounds --> distributed lower bounds
+      (Section 6)          (Sections 6 & 7)         (Sections 8 & 9)
+
+- :mod:`repro.core.server_model`       -- Definition 3.1 and the classical
+  two-party equivalence (Section 3.1).
+- :mod:`repro.core.nonlocal_games`     -- XOR/AND games, quantum bias, and
+  the Lemma 3.2 abort-based simulation.
+- :mod:`repro.core.gamma2`             -- gamma_2 machinery (Lemma B.2 et al.).
+- :mod:`repro.core.approx_degree`      -- approximate polynomial degree LP.
+- :mod:`repro.core.fooling`            -- GV codes and the [KdW12] bound.
+- :mod:`repro.core.gadgets`            -- Section 7 gadget reductions.
+- :mod:`repro.core.simulation_theorem` -- the Quantum Simulation Theorem.
+- :mod:`repro.core.bounds`             -- closed-form bound evaluators for
+  Theorems 3.6/3.8 and Corollaries 3.7/3.9 (Figs. 2 and 3).
+"""
+
+from repro.core.bounds import (
+    VERIFICATION_PROBLEMS,
+    OPTIMIZATION_PROBLEMS,
+    fig2_table,
+    fig3_curve,
+    mst_upper_bound,
+    optimization_lower_bound,
+    verification_lower_bound,
+)
+
+__all__ = [
+    "verification_lower_bound",
+    "optimization_lower_bound",
+    "mst_upper_bound",
+    "fig2_table",
+    "fig3_curve",
+    "VERIFICATION_PROBLEMS",
+    "OPTIMIZATION_PROBLEMS",
+]

@@ -1,0 +1,130 @@
+"""The ``delta``-far distance of Section 2.2.
+
+A subnetwork ``M`` of ``N`` is *delta-far* from a property ``P`` if at least
+``delta`` edges of ``N`` must be **added** to ``M`` (edge removals are free)
+to make ``M`` satisfy ``P``.  The gap problem ``delta-P`` distinguishes
+"``M`` satisfies ``P``" from "``M`` is delta-far from ``P``".
+
+For the two properties driving the paper's reductions (connectivity and
+Hamiltonian cycle) the distance has a closed form; a brute-force reference
+implementation is provided for small instances.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Callable, Hashable, Iterable
+
+import networkx as nx
+
+from repro.graphs.properties import _as_subgraph, is_hamiltonian_cycle
+
+Edge = tuple[Hashable, Hashable]
+
+
+def delta_far_from_connected(network: nx.Graph, m: Iterable[Edge] | nx.Graph) -> int:
+    """Exact distance of ``M`` from connectivity.
+
+    Removals are free, so only the component structure matters: ``M`` with
+    ``c`` components needs exactly ``c - 1`` added edges -- and, provided the
+    component multigraph induced by ``N`` is connected (always true when ``N``
+    is connected), ``c - 1`` additions from ``E(N)`` suffice.
+    """
+    if not nx.is_connected(network):
+        raise ValueError("the network N is assumed connected")
+    sub = _as_subgraph(network, m)
+    return nx.number_connected_components(sub) - 1
+
+
+def delta_far_from_hamiltonian(network: nx.Graph, m: Iterable[Edge] | nx.Graph) -> int:
+    """Distance from being a Hamiltonian cycle, for cycle-cover inputs.
+
+    The paper's gap-Hamiltonian instances (Section 7, Fig. 7) are unions of
+    ``c`` vertex-disjoint cycles covering all nodes.  Merging ``c`` disjoint
+    cycles into one needs at least ``c`` new edges (each splice replaces one
+    edge per cycle and all cycles must be touched), and ``c`` suffice when the
+    network provides splice edges.  For such inputs the distance is therefore
+    ``c`` when ``c >= 2`` and 0 for a single spanning cycle.
+
+    Raises ``ValueError`` on inputs that are not disjoint-cycle covers, where
+    no closed form applies (use :func:`brute_force_delta_far`).
+    """
+    sub = _as_subgraph(network, m)
+    if any(d != 2 for _, d in sub.degree()):
+        raise ValueError("closed form requires a disjoint-cycle cover (all degrees 2)")
+    c = nx.number_connected_components(sub)
+    return 0 if c == 1 else c
+
+
+def brute_force_delta_far(
+    network: nx.Graph,
+    m: Iterable[Edge] | nx.Graph,
+    predicate: Callable[[nx.Graph, nx.Graph], bool],
+    max_additions: int | None = None,
+) -> int | None:
+    """Reference delta-far computation by exhaustive search (tiny instances).
+
+    Tries all subsets of ``E(N) \\ E(M)`` of increasing size as additions and,
+    for each, all subsets of the resulting edge set as removals.  Returns the
+    minimum number of additions, or ``None`` if no completion satisfies the
+    predicate within ``max_additions``.
+    """
+    sub = _as_subgraph(network, m)
+    candidates = [e for e in network.edges() if not sub.has_edge(*e)]
+    limit = len(candidates) if max_additions is None else max_additions
+    for k in range(limit + 1):
+        for added in combinations(candidates, k):
+            augmented = sub.copy()
+            augmented.add_edges_from(added)
+            if _satisfiable_with_removals(network, augmented, predicate):
+                return k
+    return None
+
+
+def _satisfiable_with_removals(
+    network: nx.Graph,
+    augmented: nx.Graph,
+    predicate: Callable[[nx.Graph, nx.Graph], bool],
+) -> bool:
+    """Check whether some removal subset of ``augmented`` satisfies the predicate."""
+    edges = list(augmented.edges())
+    for k in range(len(edges) + 1):
+        for removed in combinations(edges, k):
+            candidate = augmented.copy()
+            candidate.remove_edges_from(removed)
+            if predicate(network, candidate):
+                return True
+    return False
+
+
+def is_delta_far(
+    network: nx.Graph,
+    m: Iterable[Edge] | nx.Graph,
+    predicate: Callable[[nx.Graph, nx.Graph], bool],
+    delta: int,
+) -> bool:
+    """Is ``M`` at least ``delta``-far from the property (brute force)?
+
+    Intended for tiny instances and property tests; the closed-form helpers
+    above should be preferred where they apply.
+    """
+    if delta <= 0:
+        return True
+    distance = brute_force_delta_far(network, m, predicate, max_additions=delta - 1)
+    return distance is None
+
+
+def gap_hamiltonian_label(network: nx.Graph, m: Iterable[Edge] | nx.Graph, delta: int) -> bool | None:
+    """Promise-problem label for ``delta``-Ham (Section 2.2).
+
+    Returns ``True`` for a Hamiltonian cycle, ``False`` if ``M`` is a
+    disjoint-cycle cover with at least ``delta`` cycles (hence delta-far), and
+    ``None`` when the input violates the promise.
+    """
+    if is_hamiltonian_cycle(network, m):
+        return True
+    try:
+        distance = delta_far_from_hamiltonian(network, m)
+    except ValueError:
+        return None
+    return False if distance >= delta else None

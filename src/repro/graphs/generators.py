@@ -1,0 +1,123 @@
+"""Instance generators for tests and benchmarks.
+
+These produce the concrete workloads on which the paper's predicates,
+algorithms and bound formulas are exercised: random connected graphs, weighted
+graphs with a prescribed aspect ratio, disjoint-cycle covers (gap-Hamiltonian
+inputs), and random perfect matchings (Server-model Ham inputs).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable
+
+import networkx as nx
+
+Edge = tuple[Hashable, Hashable]
+
+
+def random_connected_graph(n: int, extra_edge_prob: float = 0.15, seed: int | None = None) -> nx.Graph:
+    """A random connected graph: a random spanning tree plus random extra edges."""
+    rng = random.Random(seed)
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    nodes = list(range(n))
+    rng.shuffle(nodes)
+    for i in range(1, n):
+        graph.add_edge(nodes[i], nodes[rng.randrange(i)])
+    for u in range(n):
+        for v in range(u + 1, n):
+            if not graph.has_edge(u, v) and rng.random() < extra_edge_prob:
+                graph.add_edge(u, v)
+    return graph
+
+
+def random_weighted_graph(
+    n: int,
+    aspect_ratio: float = 10.0,
+    extra_edge_prob: float = 0.15,
+    seed: int | None = None,
+    weight: str = "weight",
+) -> nx.Graph:
+    """Random connected graph whose weights realise the given aspect ratio.
+
+    Edge weights are drawn uniformly from ``[1, W]`` and one edge each is
+    pinned to the extremes so the realised aspect ratio is exactly ``W``.
+    """
+    if aspect_ratio < 1:
+        raise ValueError("aspect ratio must be at least 1")
+    rng = random.Random(seed)
+    graph = random_connected_graph(n, extra_edge_prob=extra_edge_prob, seed=seed)
+    edges = list(graph.edges())
+    for u, v in edges:
+        graph.edges[u, v][weight] = rng.uniform(1.0, aspect_ratio)
+    if len(edges) >= 2:
+        graph.edges[edges[0]][weight] = 1.0
+        graph.edges[edges[-1]][weight] = float(aspect_ratio)
+    return graph
+
+
+def disjoint_cycle_cover(n: int, n_cycles: int, seed: int | None = None) -> nx.Graph:
+    """A graph that is a disjoint union of ``n_cycles`` cycles covering ``n`` nodes.
+
+    These are the paper's gap-Hamiltonian inputs: for ``n_cycles == 1`` the
+    graph is a Hamiltonian cycle; for ``c >= 2`` it is ``c``-far from one.
+    Every cycle has length at least 3.
+    """
+    if n_cycles < 1 or n < 3 * n_cycles:
+        raise ValueError("need n >= 3 * n_cycles and n_cycles >= 1")
+    rng = random.Random(seed)
+    nodes = list(range(n))
+    rng.shuffle(nodes)
+    sizes = [3] * n_cycles
+    remaining = n - 3 * n_cycles
+    for _ in range(remaining):
+        sizes[rng.randrange(n_cycles)] += 1
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    start = 0
+    for size in sizes:
+        cycle = nodes[start : start + size]
+        for i, u in enumerate(cycle):
+            graph.add_edge(u, cycle[(i + 1) % size])
+        start += size
+    return graph
+
+
+def random_perfect_matching(n: int, seed: int | None = None) -> list[Edge]:
+    """A uniformly random perfect matching on nodes ``0..n-1`` (``n`` even)."""
+    if n % 2 != 0:
+        raise ValueError("perfect matching needs an even number of nodes")
+    rng = random.Random(seed)
+    nodes = list(range(n))
+    rng.shuffle(nodes)
+    return [(nodes[2 * i], nodes[2 * i + 1]) for i in range(n // 2)]
+
+
+def matching_pair_for_cycles(n: int, n_cycles: int, seed: int | None = None) -> tuple[list[Edge], list[Edge]]:
+    """Two perfect matchings on ``n`` nodes whose union is ``n_cycles`` cycles.
+
+    This is the Server-model Hamiltonian input format (Definition 3.3, where
+    Carol's and David's edge sets are both perfect matchings): the union of two
+    perfect matchings is always a disjoint union of even cycles; we control the
+    number of cycles to produce 1-inputs (Hamiltonian) or far inputs.
+    """
+    if n % 2 != 0 or n < 4 * n_cycles:
+        raise ValueError("need even n >= 4 * n_cycles")
+    rng = random.Random(seed)
+    nodes = list(range(n))
+    rng.shuffle(nodes)
+    sizes = [4] * n_cycles
+    remaining = (n - 4 * n_cycles) // 2
+    for _ in range(remaining):
+        sizes[rng.randrange(n_cycles)] += 2
+    carol: list[Edge] = []
+    david: list[Edge] = []
+    start = 0
+    for size in sizes:
+        cycle = nodes[start : start + size]
+        for i in range(0, size, 2):
+            carol.append((cycle[i], cycle[i + 1]))
+            david.append((cycle[i + 1], cycle[(i + 2) % size]))
+        start += size
+    return carol, david

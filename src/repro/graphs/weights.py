@@ -1,0 +1,52 @@
+"""Weight utilities: aspect ratio ``W`` and weight assignments (Section 2.2)."""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+import networkx as nx
+
+Edge = tuple[Hashable, Hashable]
+
+
+def aspect_ratio(network: nx.Graph, weight: str = "weight") -> float:
+    """The weight aspect ratio ``W = max_e w(e) / min_e w(e)``."""
+    weights = [data[weight] for _, _, data in network.edges(data=True)]
+    if not weights:
+        raise ValueError("network has no edges")
+    if min(weights) <= 0:
+        raise ValueError("weights must be positive")
+    return max(weights) / min(weights)
+
+
+def total_weight(network: nx.Graph, edges: Iterable[Edge], weight: str = "weight") -> float:
+    """Total weight of an edge collection."""
+    return sum(network.edges[u, v][weight] for u, v in edges)
+
+
+def assign_uniform_weights(network: nx.Graph, value: float = 1.0, weight: str = "weight") -> nx.Graph:
+    """Assign the same weight to all edges (in place); returns the network."""
+    for _, _, data in network.edges(data=True):
+        data[weight] = value
+    return network
+
+
+def assign_gap_weights(
+    network: nx.Graph,
+    marked: Iterable[Edge],
+    low: float = 1.0,
+    high: float = 100.0,
+    weight: str = "weight",
+) -> nx.Graph:
+    """Weight scheme of the Section 9.2 reduction.
+
+    Marked (subnetwork) edges get weight ``low`` (= 1 in the paper); all other
+    network edges get weight ``high`` (= W).  Used to turn an alpha-approximate
+    MST algorithm into a gap-connectivity verifier.
+    """
+    if high < low:
+        raise ValueError("high must be at least low")
+    marked_set = {frozenset(e) for e in marked}
+    for u, v, data in network.edges(data=True):
+        data[weight] = low if frozenset((u, v)) in marked_set else high
+    return network

@@ -1,0 +1,73 @@
+"""Entangled resource states: EPR pairs, GHZ states, entanglement measures.
+
+The paper's model allows arbitrary input-independent n-partite entanglement
+(Section 2.1).  These constructors provide the canonical resource states and
+the entropy measure used to certify entanglement in tests.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.quantum.gates import CNOT, HADAMARD
+from repro.quantum.state import QuantumState
+
+
+def bell_state(which: int = 0) -> QuantumState:
+    """One of the four Bell states; ``which = 0`` is the EPR pair
+    ``(|00> + |11>) / sqrt(2)`` [EPR35, Bel64]."""
+    if which not in range(4):
+        raise ValueError("which must be in 0..3")
+    state = QuantumState(2)
+    if which in (1, 3):  # |01> or |11> seed
+        state = QuantumState.from_bits([0, 1])
+    state.apply(HADAMARD, [0])
+    state.apply(CNOT, [0, 1])
+    if which >= 2:  # phase flip
+        from repro.quantum.gates import PAULI_Z
+
+        state.apply(PAULI_Z, [0])
+    return state
+
+
+def ghz_state(n: int) -> QuantumState:
+    """The n-party GHZ state ``(|0...0> + |1...1>) / sqrt(2)``."""
+    if n < 2:
+        raise ValueError("GHZ needs at least 2 qubits")
+    state = QuantumState(n)
+    state.apply(HADAMARD, [0])
+    for q in range(1, n):
+        state.apply(CNOT, [0, q])
+    return state
+
+
+def shared_random_bit(n_parties: int, rng=None) -> tuple[int, ...]:
+    """Generate one shared random bit among ``n`` parties by measuring GHZ.
+
+    Footnote 2 of the paper: an EPR pair (GHZ state for many parties), when
+    measured, yields the same uniformly random bit at every party -- shared
+    entanglement subsumes shared randomness.
+    """
+    state = ghz_state(max(2, n_parties))
+    outcome = state.measure(list(range(max(2, n_parties))), rng=rng)
+    return outcome[:n_parties]
+
+
+def entanglement_entropy(state: QuantumState, subsystem: list[int]) -> float:
+    """Entanglement entropy of a bipartition (von Neumann entropy of the
+    reduced state), in bits.  Zero iff the pure state is a product state
+    across the cut."""
+    rho = state.density_matrix(subsystem)
+    eigenvalues = np.linalg.eigvalsh(rho)
+    entropy = 0.0
+    for lam in eigenvalues:
+        if lam > 1e-12:
+            entropy -= float(lam) * math.log2(float(lam))
+    return entropy
+
+
+def is_product_state(state: QuantumState, subsystem: list[int], tol: float = 1e-9) -> bool:
+    """Whether the state factorises across the given bipartition."""
+    return entanglement_entropy(state, subsystem) < tol

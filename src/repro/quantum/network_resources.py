@@ -1,0 +1,95 @@
+"""Shared entanglement as a network resource (Appendix A.1).
+
+The paper's strongest model lets nodes pre-share an arbitrary
+input-independent n-partite entangled state.  This module provides the
+bookkeeping for that resource on top of the CONGEST simulator:
+
+- an :class:`EntanglementRegistry` dispensing EPR pairs between node pairs
+  (input-independent, hence free -- exactly the Server model's dispensing
+  rule and footnote 2's "shared randomness for free");
+- :func:`teleport_over_edge`, converting one registered EPR pair plus two
+  classical bits into one transmitted qubit -- the exchange rate used
+  throughout Lemma 3.2 and Theorem 3.5;
+- consumption accounting, so experiments can report how much entanglement a
+  protocol burned.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.quantum.state import QuantumState
+from repro.quantum.teleportation import CLASSICAL_BITS_PER_QUBIT, teleport
+
+
+@dataclass
+class EntanglementRegistry:
+    """Pre-shared EPR pairs between node pairs, dispensed before the input
+    arrives (so dispensing is free; only *consumption* is tracked)."""
+
+    dispensed: dict[frozenset, int] = field(default_factory=lambda: defaultdict(int))
+    consumed: dict[frozenset, int] = field(default_factory=lambda: defaultdict(int))
+
+    def dispense(self, u: Hashable, v: Hashable, pairs: int = 1) -> None:
+        if pairs < 1:
+            raise ValueError("dispense at least one pair")
+        if u == v:
+            raise ValueError("entanglement is shared between distinct nodes")
+        self.dispensed[frozenset((u, v))] += pairs
+
+    def available(self, u: Hashable, v: Hashable) -> int:
+        key = frozenset((u, v))
+        return self.dispensed[key] - self.consumed[key]
+
+    def consume(self, u: Hashable, v: Hashable, pairs: int = 1) -> None:
+        if self.available(u, v) < pairs:
+            raise RuntimeError(
+                f"insufficient entanglement between {u!r} and {v!r}: "
+                f"{self.available(u, v)} < {pairs}"
+            )
+        self.consumed[frozenset((u, v))] += pairs
+
+    @property
+    def total_consumed(self) -> int:
+        return sum(self.consumed.values())
+
+
+@dataclass
+class TeleportationOutcome:
+    state: QuantumState
+    classical_bits: tuple[int, int]
+    classical_cost: int
+
+
+def teleport_over_edge(
+    registry: EntanglementRegistry,
+    sender: Hashable,
+    receiver: Hashable,
+    qubit: QuantumState,
+    rng: random.Random | None = None,
+) -> TeleportationOutcome:
+    """Send one qubit using one registered EPR pair + 2 classical bits.
+
+    This is the resource conversion the paper's proofs apply: a quantum
+    channel of ``B`` qubits per round is interchangeable with ``2B``
+    classical bits per round given pre-shared entanglement.  The statevector
+    teleportation actually runs, so fidelity is exact.
+    """
+    registry.consume(sender, receiver, 1)
+    received, bits = teleport(qubit, rng=rng)
+    return TeleportationOutcome(
+        state=received,
+        classical_bits=bits,
+        classical_cost=CLASSICAL_BITS_PER_QUBIT,
+    )
+
+
+def qubits_to_classical_bits(n_qubits: int) -> int:
+    """The Lemma 3.2 exchange rate: ``T`` qubits -> ``2T`` classical bits
+    (plus ``T`` consumed EPR pairs)."""
+    if n_qubits < 0:
+        raise ValueError("qubit count must be nonnegative")
+    return CLASSICAL_BITS_PER_QUBIT * n_qubits

@@ -1,0 +1,46 @@
+"""Superdense coding: 2 classical bits through 1 qubit plus an EPR pair.
+
+The converse of teleportation; together they make ``1 qubit + 1 EPR pair``
+and ``2 classical bits + 1 EPR pair`` interchangeable resources, which is the
+accounting identity behind the paper's channel conversions.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.quantum.entanglement import bell_state
+from repro.quantum.gates import CNOT, HADAMARD, PAULI_X, PAULI_Z
+from repro.quantum.state import QuantumState
+
+
+def superdense_encode(bits: tuple[int, int]) -> QuantumState:
+    """Alice encodes two classical bits into her half of an EPR pair.
+
+    Returns the full 2-qubit state after Alice's local operation (qubit 0 is
+    the qubit she will send to Bob).
+    """
+    b0, b1 = bits
+    if b0 not in (0, 1) or b1 not in (0, 1):
+        raise ValueError("bits must be 0/1")
+    state = bell_state(0)
+    if b1 == 1:
+        state.apply(PAULI_X, [0])
+    if b0 == 1:
+        state.apply(PAULI_Z, [0])
+    return state
+
+
+def superdense_decode(state: QuantumState, rng: random.Random | None = None) -> tuple[int, int]:
+    """Bob's Bell-basis measurement recovering the two bits (deterministic)."""
+    if state.n_qubits != 2:
+        raise ValueError("superdense decoding expects 2 qubits")
+    state = state.copy()
+    state.apply(CNOT, [0, 1])
+    state.apply(HADAMARD, [0])
+    return state.measure([0, 1], rng=rng)  # type: ignore[return-value]
+
+
+def superdense_send(bits: tuple[int, int], rng: random.Random | None = None) -> tuple[int, int]:
+    """End-to-end superdense coding of two bits; returns Bob's decoded bits."""
+    return superdense_decode(superdense_encode(bits), rng=rng)

@@ -1,0 +1,224 @@
+"""Tests for the phased-program framework primitives."""
+
+import networkx as nx
+import pytest
+
+from repro.algorithms.framework import (
+    BfsTreePhase,
+    BroadcastPhase,
+    ConvergecastPhase,
+    LeaderElectionPhase,
+    LocalComputationPhase,
+    PhasedProgram,
+    PipelinedDowncastPhase,
+    PipelinedUpcastPhase,
+)
+from repro.congest.network import CongestNetwork
+from repro.graphs.generators import random_connected_graph
+
+
+def run_phases(graph, phases_factory, diameter=None, bandwidth=128):
+    d = diameter if diameter is not None else nx.diameter(graph)
+    inputs = {node: {"diameter_bound": d} for node in graph.nodes()}
+    network = CongestNetwork(
+        graph, lambda: PhasedProgram(phases_factory()), bandwidth=bandwidth, inputs=inputs
+    )
+    return network.run(max_rounds=100_000)
+
+
+class TestLeaderElection:
+    def test_everyone_agrees_on_max(self):
+        graph = random_connected_graph(15, seed=0)
+
+        def phases():
+            return [
+                LeaderElectionPhase(),
+                LocalComputationPhase(lambda node, shared: shared.update(output=shared["leader"])),
+            ]
+
+        result = run_phases(graph, phases)
+        # Leader = max id under the framework's canonical (repr) order.
+        assert result.unanimous_output() == max(graph.nodes(), key=repr)
+
+    def test_single_node(self):
+        graph = nx.Graph()
+        graph.add_node(0)
+
+        def phases():
+            return [
+                LeaderElectionPhase(),
+                LocalComputationPhase(lambda node, shared: shared.update(output=shared["leader"])),
+            ]
+
+        result = run_phases(graph, phases, diameter=1)
+        assert result.outputs[0] == 0
+
+
+class TestBfsTree:
+    def test_tree_structure(self):
+        graph = random_connected_graph(20, seed=1)
+
+        def phases():
+            return [
+                LeaderElectionPhase(),
+                BfsTreePhase(),
+                LocalComputationPhase(
+                    lambda node, shared: shared.update(
+                        output=(shared["parent"], shared["depth"], len(shared["children"]))
+                    )
+                ),
+            ]
+
+        result = run_phases(graph, phases)
+        leader = max(graph.nodes(), key=repr)
+        roots = [nid for nid, (parent, _, _) in result.outputs.items() if parent is None]
+        assert roots == [leader]
+        # Depths are BFS distances from the leader.
+        expected = nx.single_source_shortest_path_length(graph, leader)
+        for nid, (_, depth, _) in result.outputs.items():
+            assert depth == expected[nid]
+        # Parent/child counts are consistent: total children = n - 1.
+        assert sum(c for (_, _, c) in result.outputs.values()) == 19
+
+
+class TestConvergecastBroadcast:
+    def test_sum_and_broadcast(self):
+        graph = random_connected_graph(12, seed=2)
+
+        def phases():
+            return [
+                LeaderElectionPhase(),
+                BfsTreePhase(),
+                ConvergecastPhase("total", lambda node, shared: 1, lambda a, b: a + b),
+                LocalComputationPhase(
+                    lambda node, shared: shared.update(
+                        total=shared["total"] if shared["parent"] is None else None
+                    )
+                ),
+                BroadcastPhase("total"),
+                LocalComputationPhase(lambda node, shared: shared.update(output=shared["total"])),
+            ]
+
+        result = run_phases(graph, phases)
+        assert result.unanimous_output() == 12
+
+
+class TestPipelines:
+    def test_upcast_collects_everything(self):
+        graph = random_connected_graph(10, seed=3)
+
+        def stage(node, shared):
+            shared["items"] = [int(str(node.id))]
+            shared["cap"] = 12
+
+        def read(node, shared):
+            collected = shared["collected"]
+            shared["output"] = sorted(collected) if collected is not None else None
+
+        def phases():
+            return [
+                LeaderElectionPhase(),
+                BfsTreePhase(),
+                LocalComputationPhase(stage),
+                PipelinedUpcastPhase("items", "collected", "cap"),
+                LocalComputationPhase(read),
+            ]
+
+        result = run_phases(graph, phases)
+        root_output = result.outputs[9]
+        assert root_output == list(range(10))
+
+    def test_upcast_capacity_overflow_raises(self):
+        graph = random_connected_graph(10, seed=4)
+
+        def stage(node, shared):
+            shared["items"] = [1, 2, 3, 4, 5]
+            shared["cap"] = 2  # way too small
+
+        def phases():
+            return [
+                LeaderElectionPhase(),
+                BfsTreePhase(),
+                LocalComputationPhase(stage),
+                PipelinedUpcastPhase("items", "collected", "cap"),
+            ]
+
+        with pytest.raises(RuntimeError, match="capacity too small"):
+            run_phases(graph, phases)
+
+    def test_downcast_distributes_items(self):
+        graph = random_connected_graph(10, seed=5)
+
+        def stage(node, shared):
+            shared["items"] = [("v", k) for k in range(4)] if shared["parent"] is None else []
+            shared["cap"] = 6
+
+        def read(node, shared):
+            shared["output"] = sorted(shared["items"])
+
+        def phases():
+            return [
+                LeaderElectionPhase(),
+                BfsTreePhase(),
+                LocalComputationPhase(stage),
+                PipelinedDowncastPhase("items", "cap"),
+                LocalComputationPhase(read),
+            ]
+
+        result = run_phases(graph, phases)
+        expected = [("v", k) for k in range(4)]
+        assert result.unanimous_output() == expected
+
+    def test_upcast_reducer_dedupes(self):
+        graph = random_connected_graph(8, seed=6)
+
+        def stage(node, shared):
+            shared["items"] = ["same-item"]
+            shared["cap"] = 10
+
+        def reducer(items):
+            return sorted(set(items))
+
+        def read(node, shared):
+            if shared["parent"] is None:
+                shared["output"] = shared["collected"]
+            else:
+                shared["output"] = None
+
+        def phases():
+            return [
+                LeaderElectionPhase(),
+                BfsTreePhase(),
+                LocalComputationPhase(stage),
+                PipelinedUpcastPhase("items", "collected", "cap", reducer=reducer),
+                LocalComputationPhase(read),
+            ]
+
+        result = run_phases(graph, phases)
+        root_output = result.outputs[7]
+        assert root_output == ["same-item"]
+
+
+class TestPhaseComposition:
+    def test_zero_duration_phases_chain(self):
+        graph = nx.path_graph(3)
+        trace = []
+
+        def make_recorder(tag):
+            def record(node, shared):
+                if node.id == 0:
+                    trace.append(tag)
+
+            return record
+
+        def phases():
+            return [
+                LocalComputationPhase(make_recorder("a")),
+                LocalComputationPhase(make_recorder("b")),
+                LocalComputationPhase(lambda node, shared: shared.update(output="done")),
+            ]
+
+        result = run_phases(graph, phases, diameter=2)
+        assert result.unanimous_output() == "done"
+        assert trace == ["a", "b"]
+        assert result.rounds == 0

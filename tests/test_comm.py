@@ -1,0 +1,213 @@
+"""Tests for the two-party communication substrate."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.comm.classical import (
+    DeterministicDisjointnessProtocol,
+    DeterministicIPmod3Protocol,
+    HammingDistanceThresholdProtocol,
+    RandomizedEqualityProtocol,
+    SendAllProtocol,
+)
+from repro.comm.lower_bounds import (
+    discrepancy,
+    discrepancy_communication_bound,
+    fooling_set_bound,
+    greedy_fooling_set,
+    is_fooling_set,
+    log_rank_bound,
+    spectral_discrepancy_bound,
+)
+from repro.comm.problems import (
+    GapEquality,
+    all_inputs,
+    disjointness,
+    equality,
+    hamiltonian_matching_problem,
+    inner_product_mod2,
+    ipmod3,
+    ipmod3_promise_inputs,
+    is_perfect_matching,
+)
+from repro.comm.quantum_protocols import (
+    GroverDisjointnessProtocol,
+    QuantumFingerprintEqualityProtocol,
+)
+
+
+class TestProblems:
+    def test_equality_evaluate(self):
+        eq = equality(4)
+        assert eq.evaluate((1, 0, 1, 0), (1, 0, 1, 0)) == 1
+        assert eq.evaluate((1, 0, 1, 0), (1, 0, 1, 1)) == 0
+
+    def test_disjointness_evaluate(self):
+        disj = disjointness(4)
+        assert disj.evaluate((1, 0, 1, 0), (0, 1, 0, 1)) == 1
+        assert disj.evaluate((1, 0, 1, 0), (1, 0, 0, 0)) == 0
+
+    def test_ipmod3_evaluate(self):
+        f = ipmod3(6)
+        assert f.evaluate((1, 1, 1, 0, 0, 0), (1, 1, 1, 0, 0, 0)) == 1  # 3 mod 3 = 0
+        assert f.evaluate((1, 1, 0, 0, 0, 0), (1, 1, 0, 0, 0, 0)) == 0  # 2 mod 3
+
+    def test_samplers_respect_labels(self):
+        rng = random.Random(0)
+        for problem in (equality(8), disjointness(8), ipmod3(8)):
+            if problem.sample_one_input:
+                x, y = problem.sample_one_input(rng)
+                assert problem.evaluate(x, y) == 1
+            if problem.sample_zero_input:
+                x, y = problem.sample_zero_input(rng)
+                assert problem.evaluate(x, y) == 0
+
+    def test_sign_matrix(self):
+        eq = equality(2)
+        inputs = all_inputs(2)
+        matrix = eq.matrix(inputs, inputs)
+        assert np.allclose(np.diag(matrix), -1.0)  # equal -> f=1 -> (-1)^1
+        assert matrix[0, 1] == 1.0
+
+    def test_gap_equality_promise(self):
+        gap = GapEquality(8, 2)
+        rng = random.Random(1)
+        x, y = gap.sample_zero_input(rng)
+        assert gap.in_promise(x, y)
+        assert gap.evaluate(x, y) == 0
+        x, y = gap.sample_one_input(rng)
+        assert gap.evaluate(x, y) == 1
+        with pytest.raises(ValueError):
+            gap.evaluate((0,) * 8, (1,) + (0,) * 7)  # distance 1 violates promise
+
+    def test_promise_inputs_structure(self):
+        xs, ys = ipmod3_promise_inputs(8)
+        assert len(xs) == 16 and len(ys) == 16
+        f = ipmod3(8)
+        # On the promise, each block contributes 0/1, so evaluation works.
+        assert f.evaluate(xs[0], ys[0]) in (0, 1)
+
+    def test_hamiltonian_matching_problem(self):
+        ham = hamiltonian_matching_problem(6)
+        carol = [(0, 1), (2, 3), (4, 5)]
+        david_ham = [(1, 2), (3, 4), (5, 0)]
+        david_split = [(1, 0), (2, 3), (4, 5)]
+        assert ham.evaluate(carol, david_ham) == 1
+        assert ham.evaluate(carol, david_split) == 0
+        assert is_perfect_matching(6, carol)
+        with pytest.raises(ValueError):
+            ham.evaluate([(0, 1)], david_ham)
+
+
+class TestClassicalProtocols:
+    def test_send_all_correct(self):
+        disj = disjointness(8)
+        proto = DeterministicDisjointnessProtocol()
+        assert proto.error_rate(disj, trials=60, seed=0) == 0.0
+
+    def test_send_all_cost(self):
+        proto = SendAllProtocol(lambda x, y: 1)
+        result = proto.run((0,) * 16, (0,) * 16)
+        assert result.alice_bits == 16
+        assert result.bob_bits == 1
+
+    def test_randomized_equality_one_sided(self):
+        eq = equality(16)
+        proto = RandomizedEqualityProtocol(repetitions=12)
+        rng = random.Random(0)
+        for _ in range(30):
+            x, y = eq.sample_one_input(rng)
+            assert proto.run(x, y, seed=rng.randrange(2**31)).output == 1
+
+    def test_randomized_equality_low_error(self):
+        eq = equality(16)
+        proto = RandomizedEqualityProtocol(repetitions=12)
+        assert proto.error_rate(eq, trials=150, seed=1) <= 0.02
+
+    def test_randomized_equality_cost_constant_in_n(self):
+        proto = RandomizedEqualityProtocol(repetitions=10)
+        r1 = proto.run((0,) * 16, (0,) * 16)
+        r2 = proto.run((0,) * 64, (0,) * 64)
+        assert r1.total_bits == r2.total_bits == 11
+
+    def test_ipmod3_protocol(self):
+        f = ipmod3(8)
+        assert DeterministicIPmod3Protocol().error_rate(f, trials=60) == 0.0
+
+    def test_gap_equality_protocol(self):
+        gap = GapEquality(8, 2)
+        proto = HammingDistanceThresholdProtocol()
+        rng = random.Random(3)
+        for _ in range(20):
+            x, y = gap.sample_input(rng)
+            assert proto.run(x, y).output == gap.evaluate(x, y)
+
+
+class TestQuantumProtocols:
+    def test_fingerprint_equality_correct(self):
+        eq = equality(16)
+        proto = QuantumFingerprintEqualityProtocol(16, repetitions=12, seed=0)
+        assert proto.error_rate(eq, trials=80, seed=2) <= 0.05
+
+    def test_fingerprint_cost_logarithmic(self):
+        proto16 = QuantumFingerprintEqualityProtocol(16, repetitions=5, seed=0)
+        proto256 = QuantumFingerprintEqualityProtocol(256, repetitions=5, seed=0)
+        r16 = proto16.run((0,) * 16, (0,) * 16)
+        r256 = proto256.run((0,) * 256, (0,) * 256)
+        # O(log n) qubits: growing n 16x should grow cost by ~ log factor only.
+        assert r256.total_qubits <= r16.total_qubits + 5 * 6
+
+    def test_grover_disjointness_correct(self):
+        disj = disjointness(16)
+        proto = GroverDisjointnessProtocol()
+        assert proto.error_rate(disj, trials=40, seed=3) <= 0.15
+
+    def test_grover_disjointness_sublinear(self):
+        proto = GroverDisjointnessProtocol()
+        n = 64
+        x = tuple([1] + [0] * (n - 1))
+        y = tuple([1] + [0] * (n - 1))
+        result = proto.run(x, y, seed=5)
+        assert result.output == 0
+        assert result.total_qubits <= 6 * proto.expected_communication(n)
+
+
+class TestLowerBounds:
+    def test_equality_fooling_set(self):
+        eq = equality(4)
+        pairs = [(x, x) for x in all_inputs(4)]
+        assert is_fooling_set(eq.evaluate, pairs)
+        assert fooling_set_bound(len(pairs)) == 4.0
+
+    def test_greedy_fooling_set(self):
+        eq = equality(3)
+        candidates = [(x, y) for x in all_inputs(3) for y in all_inputs(3)]
+        fs = greedy_fooling_set(eq.evaluate, candidates)
+        assert len(fs) == 8  # the full diagonal
+        assert is_fooling_set(eq.evaluate, fs)
+
+    def test_non_fooling_set_rejected(self):
+        disj = disjointness(2)
+        pairs = [((0, 0), (0, 0)), ((0, 1), (0, 0))]  # cross pairs still 1
+        assert not is_fooling_set(disj.evaluate, pairs)
+
+    def test_log_rank_equality_is_n(self):
+        eq = equality(3)
+        inputs = all_inputs(3)
+        assert log_rank_bound(eq.boolean_matrix(inputs, inputs)) == 3.0
+
+    def test_ip_discrepancy_small(self):
+        ip = inner_product_mod2(3)
+        inputs = all_inputs(3)
+        matrix = ip.matrix(inputs, inputs)
+        exact = discrepancy(matrix)
+        spectral = spectral_discrepancy_bound(matrix)
+        assert exact <= spectral + 1e-9
+        # IP has discrepancy 2^{-Theta(n)} -> communication Omega(n).
+        assert discrepancy_communication_bound(exact) >= 1.0
+
+    def test_discrepancy_size_guard(self):
+        with pytest.raises(ValueError):
+            discrepancy(np.ones((20, 20)))

@@ -1,0 +1,143 @@
+"""Tests for the Section 7 gadget reductions (Theorem 3.4's engine)."""
+
+import itertools
+
+import networkx as nx
+import pytest
+
+from repro.core.gadgets import (
+    SHIFT1,
+    compose,
+    gadget_permutation,
+    gap_eq_mismatch_count,
+    gap_eq_to_ham,
+    gap_connectivity_weights,
+    ham_to_spanning_tree_instance,
+    ipmod3_to_ham,
+    ipmod3_value,
+    mst_weight_threshold,
+    strand_permutation,
+)
+from repro.graphs.properties import is_spanning_tree
+
+
+class TestPermutationLayer:
+    def test_compose_order(self):
+        swap01 = (1, 0, 2)
+        shift = (1, 2, 0)
+        assert compose(swap01, shift) == tuple(shift[swap01[j]] for j in range(3))
+
+    def test_observation_7_1(self):
+        # Gadget permutation is identity unless x_i = y_i = 1, where it is
+        # the +1 cyclic shift.
+        assert gadget_permutation(0, 0) == (0, 1, 2)
+        assert gadget_permutation(0, 1) == (0, 1, 2)
+        assert gadget_permutation(1, 0) == (0, 1, 2)
+        assert gadget_permutation(1, 1) == SHIFT1
+
+    def test_lemma_7_2(self):
+        x = (1, 1, 0, 1)
+        y = (1, 0, 1, 1)
+        perm = strand_permutation(x, y)
+        total = sum(a * b for a, b in zip(x, y)) % 3
+        expected = tuple((j + total) % 3 for j in range(3))
+        assert perm == expected
+
+
+class TestIPmod3Reduction:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_lemma_c3_exhaustive(self, n):
+        for x in itertools.product((0, 1), repeat=n):
+            for y in itertools.product((0, 1), repeat=n):
+                instance = ipmod3_to_ham(x, y)
+                is_ham = instance.is_hamiltonian()
+                # Ham iff sum x_i y_i != 0 (mod 3) iff IPmod3 outputs 0.
+                assert is_ham == (ipmod3_value(x, y) == 0), (x, y)
+
+    def test_size_linear(self):
+        instance = ipmod3_to_ham((1,) * 5, (1,) * 5)
+        assert instance.n_nodes == 60
+        assert instance.union_graph().number_of_nodes() == 60
+
+    def test_both_sides_perfect_matchings(self):
+        instance = ipmod3_to_ham((1, 0, 1), (0, 1, 1))
+        for edges in (instance.carol_edges, instance.david_edges):
+            seen = set()
+            for u, v in edges:
+                assert u not in seen and v not in seen
+                seen.update((u, v))
+            assert len(seen) == instance.n_nodes
+
+    def test_union_two_regular(self):
+        instance = ipmod3_to_ham((1, 1, 0, 1), (1, 0, 1, 1))
+        assert all(d == 2 for _, d in instance.union_graph().degree())
+
+    def test_cycle_count_three_when_divisible(self):
+        # sum = 3 = 0 mod 3: three strand-cycles.
+        instance = ipmod3_to_ham((1, 1, 1), (1, 1, 1))
+        assert instance.cycle_count() == 3
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            ipmod3_to_ham((2,), (0,))
+        with pytest.raises(ValueError):
+            ipmod3_to_ham((0, 1), (0,))
+
+
+class TestGapEqReduction:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_cycle_structure_exhaustive(self, n):
+        for x in itertools.product((0, 1), repeat=n):
+            for y in itertools.product((0, 1), repeat=n):
+                instance = gap_eq_to_ham(x, y)
+                delta = gap_eq_mismatch_count(x, y)
+                cycles = instance.cycle_count()
+                if delta == 0:
+                    assert cycles == 1
+                    assert instance.is_hamiltonian()
+                else:
+                    assert cycles == delta + 1
+                    assert not instance.is_hamiltonian()
+
+    def test_size_linear(self):
+        instance = gap_eq_to_ham((0, 1, 0), (0, 1, 0))
+        assert instance.union_graph().number_of_nodes() == 18
+
+    def test_far_inputs_are_far(self):
+        # A Gap-Eq 0-input at distance > delta yields >= delta cycles.
+        x = (0, 0, 0, 0, 0, 0)
+        y = (1, 1, 1, 0, 0, 0)
+        instance = gap_eq_to_ham(x, y)
+        assert instance.cycle_count() >= 3
+
+
+class TestSection9Reductions:
+    def test_ham_to_st_on_cycle(self):
+        graph = nx.cycle_graph(8)
+        residual = ham_to_spanning_tree_instance(graph, list(graph.edges()))
+        assert residual is not None
+        assert is_spanning_tree(graph, residual)
+
+    def test_ham_to_st_rejects_wrong_degrees(self):
+        graph = nx.complete_graph(5)
+        assert ham_to_spanning_tree_instance(graph, [(0, 1), (1, 2)]) is None
+
+    def test_ham_to_st_on_two_cycles(self):
+        graph = nx.Graph()
+        nx.add_cycle(graph, [0, 1, 2])
+        nx.add_cycle(graph, [3, 4, 5])
+        graph.add_edge(2, 3)
+        m = [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]
+        residual = ham_to_spanning_tree_instance(graph, m)
+        assert residual is not None  # degrees fine...
+        assert not is_spanning_tree(graph, residual)  # ...but not a tree
+
+    def test_gap_weights(self):
+        graph = nx.complete_graph(4)
+        m = [(0, 1), (1, 2), (2, 3), (3, 0)]
+        weights = gap_connectivity_weights(graph, m, high_weight=100.0)
+        assert weights[frozenset((0, 1))] == 1.0
+        assert weights[frozenset((0, 2))] == 100.0
+
+    def test_threshold(self):
+        assert mst_weight_threshold(10, 2.0) == 18.0

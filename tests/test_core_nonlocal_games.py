@@ -1,0 +1,128 @@
+"""Tests for nonlocal games: CHSH biases and the Lemma 3.2 simulation."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.nonlocal_games import (
+    AbortSimulationStrategy,
+    ANDGame,
+    XORGame,
+    chsh_game,
+    predicted_and_win_probability_one_inputs,
+    predicted_xor_win_probability,
+)
+from tests.test_core_server_model import make_xor_exchange_protocol
+
+
+class TestCHSH:
+    def test_classical_bias_half(self):
+        # Bell: no classical strategy beats bias 1/2 (win prob 3/4).
+        assert chsh_game().classical_bias() == pytest.approx(0.5)
+
+    def test_quantum_bias_tsirelson(self):
+        # Tsirelson's bound: 1/sqrt(2) ~ 0.7071.
+        bias = chsh_game().quantum_bias(seed=1)
+        assert bias == pytest.approx(1.0 / math.sqrt(2.0), abs=1e-4)
+
+    def test_quantum_beats_classical(self):
+        game = chsh_game()
+        assert game.quantum_bias(seed=0) > game.classical_bias() + 0.1
+
+    def test_cost_matrix(self):
+        k = chsh_game().cost_matrix
+        assert k[0, 0] == pytest.approx(0.25)
+        assert k[1, 1] == pytest.approx(-0.25)
+
+
+class TestXORGameMachinery:
+    def test_distribution_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            XORGame(np.full((2, 2), 0.3), np.zeros((2, 2), dtype=int))
+
+    def test_trivial_game_bias_one(self):
+        # Constant target: answering the constant wins always.
+        game = XORGame(np.full((2, 2), 0.25), np.zeros((2, 2), dtype=int))
+        assert game.classical_bias() == pytest.approx(1.0)
+        assert game.quantum_bias(seed=0) == pytest.approx(1.0, abs=1e-6)
+
+    def test_quantum_at_least_classical(self):
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            target = rng.integers(0, 2, size=(3, 3))
+            game = XORGame(np.full((3, 3), 1.0 / 9.0), target)
+            assert game.quantum_bias(seed=2) >= game.classical_bias() - 1e-6
+
+    def test_strategy_bias_estimation(self):
+        game = chsh_game()
+
+        def best_classical(x, y):
+            return 0, 0  # wins unless x = y = 1
+
+        empirical = game.strategy_bias(best_classical, trials=4000, seed=0)
+        assert empirical == pytest.approx(0.5, abs=0.05)
+
+
+class TestLemma32Simulation:
+    """The abort-based simulation of a server-model protocol."""
+
+    def setup_method(self):
+        self.protocol = make_xor_exchange_protocol(2)  # 4 total bits
+        self.x = (1, 0)
+        self.y = (1, 1)
+        self.expected_output = self.protocol.run(self.x, self.y).output
+
+    def test_no_abort_probability(self):
+        strategy = AbortSimulationStrategy(self.protocol, mode="xor")
+        assert strategy.total_guess_bits(self.x, self.y) == 4
+        assert strategy.no_abort_probability(self.x, self.y) == pytest.approx(2.0**-4)
+
+    def test_xor_win_probability_matches_lemma(self):
+        strategy = AbortSimulationStrategy(self.protocol, mode="xor")
+        rng = random.Random(0)
+        trials = 30_000
+        agree = 0
+        for _ in range(trials):
+            a, b = strategy.play(self.x, self.y, rng)
+            agree += int((a ^ b) == self.expected_output)
+        predicted = predicted_xor_win_probability(1.0, 4)
+        # Lemma 3.2: P[correct] = 1/2 + (q - 1/2) * 2^{-4} with q = 1
+        # (the protocol is deterministic and exact).
+        assert agree / trials == pytest.approx(predicted, abs=0.01)
+
+    def test_and_mode_one_sided(self):
+        strategy = AbortSimulationStrategy(self.protocol, mode="and")
+        rng = random.Random(1)
+        trials = 20_000
+        ones = 0
+        for _ in range(trials):
+            a, b = strategy.play(self.x, self.y, rng)
+            ones += a & b
+        if self.expected_output == 1:
+            predicted = predicted_and_win_probability_one_inputs(1.0, 4)
+            assert ones / trials == pytest.approx(predicted, abs=0.01)
+        else:
+            assert ones == 0  # 0-inputs never produce a AND b = 1
+
+    def test_and_mode_zero_inputs_never_accept(self):
+        # Pick an input whose protocol output is 0.
+        protocol = make_xor_exchange_protocol(2)
+        x, y = (0, 0), (0, 0)
+        assert protocol.run(x, y).output == 0
+        strategy = AbortSimulationStrategy(protocol, mode="and")
+        rng = random.Random(2)
+        for _ in range(5000):
+            a, b = strategy.play(x, y, rng)
+            assert (a & b) == 0
+
+
+class TestANDGame:
+    def test_win_probability_estimation(self):
+        game = ANDGame(np.full((2, 2), 0.25), np.array([[0, 0], [0, 1]]))
+
+        def strategy(x, y):
+            return x, y  # a AND b = x AND y: always correct for this target
+
+        assert game.win_probability(strategy, trials=2000, seed=0) == pytest.approx(1.0)

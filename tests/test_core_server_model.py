@@ -1,0 +1,120 @@
+"""Tests for the Server model and the Section 3.1 equivalence."""
+
+import pytest
+
+from repro.comm.classical import RandomizedEqualityProtocol
+from repro.comm.problems import equality
+from repro.core.server_model import (
+    CAROL,
+    DAVID,
+    SERVER,
+    ServerChannel,
+    ServerProtocol,
+    StructuredServerProtocol,
+    TwoPartyAsServerProtocol,
+    two_party_simulation_of_server,
+)
+
+
+class TestServerChannel:
+    def test_cost_counts_only_carol_and_david(self):
+        channel = ServerChannel()
+        channel.send(CAROL, SERVER, "x", bits=5)
+        channel.send(DAVID, SERVER, "y", bits=3)
+        channel.send(SERVER, CAROL, "huge", bits=1_000_000)
+        assert channel.cost == 8
+
+    def test_entanglement_dispensing_free(self):
+        channel = ServerChannel()
+        channel.dispense_entanglement("EPR x 1000")
+        assert channel.cost == 0
+        assert len(channel.transcript) == 2
+
+    def test_invalid_parties_rejected(self):
+        channel = ServerChannel()
+        with pytest.raises(ValueError):
+            channel.send("mallory", SERVER, "x", bits=1)
+        with pytest.raises(ValueError):
+            channel.send(CAROL, CAROL, "x", bits=1)
+
+
+class TestTwoPartyLift:
+    def test_lifted_protocol_same_cost(self):
+        eq = equality(8)
+        inner = RandomizedEqualityProtocol(repetitions=6)
+        lifted = TwoPartyAsServerProtocol(inner)
+        x = (1, 0, 1, 0, 1, 0, 1, 0)
+        inner_result = inner.run(x, x, seed=7)
+        lifted_result = lifted.run(x, x, seed=7)
+        assert lifted_result.output == inner_result.output
+        assert lifted_result.cost == inner_result.total_communication
+        assert lifted_result.server_bits == 0
+
+
+def make_xor_exchange_protocol(n_rounds: int = 3) -> StructuredServerProtocol:
+    """Toy structured protocol: Carol and David stream their bits to the
+    server, which reflects the running XOR back; Carol outputs the final XOR.
+    Deterministic, so the Section 3.1 simulation applies."""
+
+    def carol_message(x, view, t):
+        return (x[t % len(x)],)
+
+    def david_message(y, view, t):
+        return (y[t % len(y)],)
+
+    def server_message(carol_sent, david_sent, t):
+        xor = 0
+        for bits in carol_sent:
+            for b in bits:
+                xor ^= b
+        for bits in david_sent:
+            for b in bits:
+                xor ^= b
+        return xor, xor
+
+    def carol_output(x, view):
+        return view[-1]
+
+    return StructuredServerProtocol(
+        n_rounds=n_rounds,
+        carol_message=carol_message,
+        david_message=david_message,
+        server_message=server_message,
+        carol_output=carol_output,
+    )
+
+
+class TestStructuredProtocol:
+    def test_runs_and_costs(self):
+        proto = make_xor_exchange_protocol(3)
+        result = proto.run((1, 0, 1), (0, 1, 1))
+        assert result.carol_bits == 3
+        assert result.david_bits == 3
+        assert result.cost == 6
+        # XOR of all six streamed bits.
+        assert result.output == (1 ^ 0 ^ 1) ^ (0 ^ 1 ^ 1)
+
+    def test_two_party_simulation_matches_exactly(self):
+        # The Section 3.1 theorem: identical output, identical cost.
+        proto = make_xor_exchange_protocol(4)
+        for x, y in [((1, 0, 1, 1), (0, 1, 1, 0)), ((0, 0, 0, 0), (1, 1, 1, 1))]:
+            server_result = proto.run(x, y)
+            sim = two_party_simulation_of_server(proto, x, y)
+            assert sim.output == server_result.output
+            assert sim.total_bits == server_result.cost
+
+    def test_simulation_over_many_inputs(self):
+        import random
+
+        proto = make_xor_exchange_protocol(5)
+        rng = random.Random(0)
+        for _ in range(25):
+            x = tuple(rng.randrange(2) for _ in range(5))
+            y = tuple(rng.randrange(2) for _ in range(5))
+            assert two_party_simulation_of_server(proto, x, y).output == proto.run(x, y).output
+
+
+class TestServerProtocolBase:
+    def test_abstract_execute(self):
+        with pytest.raises(NotImplementedError):
+            ServerProtocol().execute(None, None, ServerChannel(), None)

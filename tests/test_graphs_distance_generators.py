@@ -1,0 +1,118 @@
+"""Tests for the delta-far metric and the instance generators."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs.distance import (
+    brute_force_delta_far,
+    delta_far_from_connected,
+    delta_far_from_hamiltonian,
+    gap_hamiltonian_label,
+    is_delta_far,
+)
+from repro.graphs.properties import is_hamiltonian_cycle, is_subgraph_connected
+from repro.graphs.weights import aspect_ratio, assign_gap_weights, total_weight
+
+
+class TestDeltaFar:
+    def test_connected_distance_zero(self):
+        graph = nx.complete_graph(5)
+        m = [(0, 1), (1, 2), (2, 3), (3, 4)]
+        assert delta_far_from_connected(graph, m) == 0
+
+    def test_components_minus_one(self):
+        graph = nx.complete_graph(6)
+        m = [(0, 1), (2, 3), (4, 5)]
+        assert delta_far_from_connected(graph, m) == 2
+
+    def test_hamiltonian_cycle_cover(self):
+        graph = nx.complete_graph(6)
+        cover = gen.disjoint_cycle_cover(6, 2, seed=1)
+        assert delta_far_from_hamiltonian(graph, cover) == 2
+
+    def test_single_cycle_distance_zero(self):
+        graph = nx.complete_graph(6)
+        cover = gen.disjoint_cycle_cover(6, 1, seed=1)
+        assert delta_far_from_hamiltonian(graph, cover) == 0
+
+    def test_closed_form_matches_brute_force_connectivity(self):
+        graph = nx.complete_graph(5)
+        m = [(0, 1), (2, 3)]
+        brute = brute_force_delta_far(graph, m, is_subgraph_connected)
+        assert brute == delta_far_from_connected(graph, m) == 2
+
+    def test_is_delta_far(self):
+        graph = nx.complete_graph(6)
+        m = [(0, 1), (2, 3), (4, 5)]
+        assert is_delta_far(graph, m, is_subgraph_connected, 2)
+        assert not is_delta_far(graph, m, is_subgraph_connected, 3)
+
+    def test_gap_label(self):
+        graph = nx.complete_graph(8)
+        one = gen.disjoint_cycle_cover(8, 1, seed=0)
+        far = gen.disjoint_cycle_cover(8, 2, seed=0)
+        assert gap_hamiltonian_label(graph, one, 2) is True
+        assert gap_hamiltonian_label(graph, far, 2) is False
+
+
+class TestGenerators:
+    def test_random_connected(self):
+        for seed in range(5):
+            g = gen.random_connected_graph(20, seed=seed)
+            assert nx.is_connected(g)
+            assert g.number_of_nodes() == 20
+
+    def test_weighted_aspect_ratio(self):
+        g = gen.random_weighted_graph(15, aspect_ratio=50.0, seed=3)
+        assert aspect_ratio(g) == pytest.approx(50.0)
+
+    def test_cycle_cover_structure(self):
+        g = gen.disjoint_cycle_cover(12, 3, seed=2)
+        assert nx.number_connected_components(g) == 3
+        assert all(d == 2 for _, d in g.degree())
+
+    def test_cycle_cover_hamiltonian_case(self):
+        g = gen.disjoint_cycle_cover(9, 1, seed=5)
+        complete = nx.complete_graph(9)
+        assert is_hamiltonian_cycle(complete, g.edges())
+
+    def test_perfect_matching(self):
+        m = gen.random_perfect_matching(10, seed=1)
+        covered = {v for e in m for v in e}
+        assert covered == set(range(10))
+        assert len(m) == 5
+
+    def test_matching_pair_cycle_count(self):
+        for n_cycles in (1, 2, 3):
+            carol, david = gen.matching_pair_for_cycles(16, n_cycles, seed=7)
+            union = nx.Graph()
+            union.add_edges_from(carol)
+            union.add_edges_from(david)
+            assert nx.number_connected_components(union) == n_cycles
+            assert all(d == 2 for _, d in union.degree())
+
+    def test_matching_pair_rejects_odd(self):
+        with pytest.raises(ValueError):
+            gen.matching_pair_for_cycles(10, 3)
+
+
+class TestWeights:
+    def test_total_weight(self):
+        g = nx.path_graph(4)
+        nx.set_edge_attributes(g, 2.0, "weight")
+        assert total_weight(g, g.edges()) == pytest.approx(6.0)
+
+    def test_gap_weights(self):
+        g = nx.complete_graph(4)
+        marked = [(0, 1), (1, 2)]
+        assign_gap_weights(g, marked, low=1.0, high=10.0)
+        assert g.edges[0, 1]["weight"] == 1.0
+        assert g.edges[0, 3]["weight"] == 10.0
+        assert aspect_ratio(g) == pytest.approx(10.0)
+
+    def test_aspect_ratio_requires_positive(self):
+        g = nx.path_graph(3)
+        nx.set_edge_attributes(g, 0.0, "weight")
+        with pytest.raises(ValueError):
+            aspect_ratio(g)

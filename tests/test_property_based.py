@@ -1,0 +1,144 @@
+"""Property-based tests (hypothesis) on the core invariants."""
+
+import math
+
+import networkx as nx
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.problems import hamming_distance
+from repro.core.fooling import binary_entropy, greedy_gv_code, code_min_distance
+from repro.core.gadgets import (
+    gadget_permutation,
+    gap_eq_mismatch_count,
+    gap_eq_to_ham,
+    ipmod3_to_ham,
+    ipmod3_value,
+    strand_permutation,
+)
+from repro.core.gamma2 import gamma2_lower, gamma2_upper
+from repro.quantum.state import QuantumState
+from repro.quantum.teleportation import teleport
+
+bits = st.lists(st.integers(0, 1), min_size=1, max_size=7)
+pair_bits = st.integers(1, 7).flatmap(
+    lambda n: st.tuples(
+        st.lists(st.integers(0, 1), min_size=n, max_size=n),
+        st.lists(st.integers(0, 1), min_size=n, max_size=n),
+    )
+)
+
+
+class TestGadgetProperties:
+    @given(pair_bits)
+    @settings(max_examples=60, deadline=None)
+    def test_ipmod3_reduction_sound_and_complete(self, xy):
+        x, y = xy
+        instance = ipmod3_to_ham(x, y)
+        assert instance.is_hamiltonian() == (ipmod3_value(x, y) == 0)
+
+    @given(pair_bits)
+    @settings(max_examples=60, deadline=None)
+    def test_ipmod3_union_is_cycle_cover(self, xy):
+        x, y = xy
+        union = ipmod3_to_ham(x, y).union_graph()
+        assert all(d == 2 for _, d in union.degree())
+        assert union.number_of_nodes() == 12 * len(x)
+
+    @given(pair_bits)
+    @settings(max_examples=60, deadline=None)
+    def test_strand_permutation_is_shift(self, xy):
+        x, y = xy
+        total = sum(a * b for a, b in zip(x, y)) % 3
+        assert strand_permutation(x, y) == tuple((j + total) % 3 for j in range(3))
+
+    @given(st.integers(0, 1), st.integers(0, 1))
+    def test_gadget_permutation_is_permutation(self, xi, yi):
+        perm = gadget_permutation(xi, yi)
+        assert sorted(perm) == [0, 1, 2]
+
+    @given(pair_bits.filter(lambda xy: len(xy[0]) >= 2))
+    @settings(max_examples=60, deadline=None)
+    def test_gap_eq_cycles_count_mismatches(self, xy):
+        x, y = xy
+        instance = gap_eq_to_ham(x, y)
+        delta = gap_eq_mismatch_count(x, y)
+        assert instance.cycle_count() == (1 if delta == 0 else delta + 1)
+        assert instance.is_hamiltonian() == (delta == 0)
+
+
+class TestQuantumProperties:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_teleportation_preserves_any_state(self, seed):
+        rng = np.random.default_rng(seed)
+        vec = rng.standard_normal(2) + 1j * rng.standard_normal(2)
+        state = QuantumState(1, vec / np.linalg.norm(vec))
+        import random as _random
+
+        received, _ = teleport(state.copy(), rng=_random.Random(seed))
+        assert received.fidelity(state) > 1.0 - 1e-9
+
+    @given(st.integers(1, 4), st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_unitary_preserves_norm(self, n_qubits, seed):
+        rng = np.random.default_rng(seed)
+        vec = rng.standard_normal(1 << n_qubits) + 1j * rng.standard_normal(1 << n_qubits)
+        state = QuantumState(n_qubits, vec / np.linalg.norm(vec))
+        from repro.quantum.gates import HADAMARD
+
+        state.apply(HADAMARD, [int(rng.integers(0, n_qubits))])
+        np.testing.assert_allclose(np.linalg.norm(state.vector), 1.0, atol=1e-9)
+
+
+class TestGamma2Properties:
+    @given(st.integers(0, 500), st.integers(2, 5), st.integers(2, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_upper_dominates_lower(self, seed, m, n):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((m, n))
+        assert gamma2_upper(a) >= gamma2_lower(a) - 1e-7
+
+    @given(st.integers(0, 500), st.integers(2, 4))
+    @settings(max_examples=15, deadline=None)
+    def test_scaling_homogeneity(self, seed, m):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((m, m))
+        np.testing.assert_allclose(gamma2_lower(3.0 * a), 3.0 * gamma2_lower(a), rtol=1e-9)
+
+
+class TestCodesProperties:
+    @given(st.integers(4, 12), st.integers(2, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_greedy_code_distance_invariant(self, n, d):
+        code = greedy_gv_code(n, d, max_size=40)
+        if len(code) >= 2:
+            assert code_min_distance(code) >= d
+
+    @given(st.floats(0.01, 0.99))
+    def test_entropy_bounds(self, p):
+        h = binary_entropy(p)
+        assert 0.0 <= h <= 1.0 + 1e-12
+
+    @given(pair_bits)
+    def test_hamming_symmetry(self, xy):
+        x, y = xy
+        assert hamming_distance(x, y) == hamming_distance(y, x)
+        assert hamming_distance(x, x) == 0
+
+
+class TestDeltaFarProperties:
+    @given(st.integers(0, 200), st.integers(2, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_components_closed_form(self, seed, parts):
+        from repro.graphs.distance import delta_far_from_connected
+        from repro.graphs.generators import random_connected_graph
+
+        graph = random_connected_graph(4 * parts, seed=seed)
+        # Take a spanning forest with `parts` components.
+        tree = list(nx.minimum_spanning_tree(graph).edges())
+        removed = tree[: parts - 1]
+        forest = [e for e in tree if e not in removed]
+        distance = delta_far_from_connected(graph, forest)
+        assert distance == parts - 1

@@ -1,0 +1,70 @@
+"""Tests for the shared-entanglement resource layer (Appendix A.1)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.quantum.network_resources import (
+    EntanglementRegistry,
+    qubits_to_classical_bits,
+    teleport_over_edge,
+)
+from repro.quantum.state import QuantumState
+
+
+def random_qubit(seed: int) -> QuantumState:
+    rng = np.random.default_rng(seed)
+    vec = rng.standard_normal(2) + 1j * rng.standard_normal(2)
+    return QuantumState(1, vec / np.linalg.norm(vec))
+
+
+class TestRegistry:
+    def test_dispense_and_consume(self):
+        registry = EntanglementRegistry()
+        registry.dispense("a", "b", 3)
+        assert registry.available("a", "b") == 3
+        assert registry.available("b", "a") == 3  # symmetric
+        registry.consume("a", "b", 2)
+        assert registry.available("a", "b") == 1
+        assert registry.total_consumed == 2
+
+    def test_overconsumption_rejected(self):
+        registry = EntanglementRegistry()
+        registry.dispense("a", "b", 1)
+        registry.consume("a", "b")
+        with pytest.raises(RuntimeError):
+            registry.consume("a", "b")
+
+    def test_self_entanglement_rejected(self):
+        with pytest.raises(ValueError):
+            EntanglementRegistry().dispense("a", "a")
+
+    def test_zero_dispense_rejected(self):
+        with pytest.raises(ValueError):
+            EntanglementRegistry().dispense("a", "b", 0)
+
+
+class TestTeleportOverEdge:
+    def test_exact_transfer_and_accounting(self):
+        registry = EntanglementRegistry()
+        registry.dispense("u", "v", 5)
+        rng = random.Random(0)
+        for seed in range(5):
+            qubit = random_qubit(seed)
+            outcome = teleport_over_edge(registry, "u", "v", qubit.copy(), rng=rng)
+            assert outcome.state.fidelity(qubit) == pytest.approx(1.0)
+            assert outcome.classical_cost == 2
+        assert registry.available("u", "v") == 0
+        assert registry.total_consumed == 5
+
+    def test_requires_entanglement(self):
+        registry = EntanglementRegistry()
+        with pytest.raises(RuntimeError):
+            teleport_over_edge(registry, "u", "v", random_qubit(1))
+
+    def test_exchange_rate(self):
+        # The Lemma 3.2 / Theorem 3.5 conversion: T qubits = 2T bits + T pairs.
+        assert qubits_to_classical_bits(7) == 14
+        with pytest.raises(ValueError):
+            qubits_to_classical_bits(-1)

@@ -1,0 +1,199 @@
+"""Tests for teleportation, superdense coding, entanglement, fingerprinting,
+Grover and the Holevo bound."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.quantum.entanglement import (
+    bell_state,
+    entanglement_entropy,
+    ghz_state,
+    is_product_state,
+    shared_random_bit,
+)
+from repro.quantum.fingerprint import FingerprintEquality
+from repro.quantum.grover import (
+    grover_find_any,
+    grover_search,
+    optimal_grover_iterations,
+    search_success_probability,
+)
+from repro.quantum.holevo import accessible_information_cap, holevo_bound, von_neumann_entropy
+from repro.quantum.state import QuantumState
+from repro.quantum.superdense import superdense_send
+from repro.quantum.teleportation import CLASSICAL_BITS_PER_QUBIT, teleport, teleportation_cost
+
+
+def random_qubit(seed: int) -> QuantumState:
+    rng = np.random.default_rng(seed)
+    vec = rng.standard_normal(2) + 1j * rng.standard_normal(2)
+    return QuantumState(1, vec / np.linalg.norm(vec))
+
+
+class TestEntanglement:
+    def test_epr_pair(self):
+        epr = bell_state(0)
+        assert epr.probabilities()[0] == pytest.approx(0.5)
+        assert epr.probabilities()[3] == pytest.approx(0.5)
+
+    def test_bell_states_orthogonal(self):
+        states = [bell_state(i) for i in range(4)]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert states[i].fidelity(states[j]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_ghz(self):
+        ghz = ghz_state(3)
+        probs = ghz.probabilities()
+        assert probs[0] == pytest.approx(0.5)
+        assert probs[7] == pytest.approx(0.5)
+
+    def test_epr_entropy_is_one_bit(self):
+        assert entanglement_entropy(bell_state(0), [0]) == pytest.approx(1.0)
+
+    def test_product_state_entropy_zero(self):
+        product = QuantumState(2)
+        assert is_product_state(product, [0])
+        assert not is_product_state(bell_state(0), [0])
+
+    def test_shared_random_bit_agreement(self):
+        rng = random.Random(0)
+        outcomes = [shared_random_bit(3, rng=rng) for _ in range(30)]
+        for bits in outcomes:
+            assert len(set(bits)) == 1  # all parties agree
+        values = [bits[0] for bits in outcomes]
+        assert 0 < sum(values) < len(values)  # actually random
+
+
+class TestTeleportation:
+    def test_fidelity_one_over_random_states(self):
+        rng = random.Random(42)
+        for seed in range(25):
+            message = random_qubit(seed)
+            received, bits = teleport(message.copy(), rng=rng)
+            assert received.fidelity(message) == pytest.approx(1.0, abs=1e-9)
+            assert len(bits) == CLASSICAL_BITS_PER_QUBIT
+
+    def test_cost_accounting(self):
+        assert teleportation_cost(7) == 14
+        with pytest.raises(ValueError):
+            teleportation_cost(-1)
+
+    def test_rejects_multiqubit_message(self):
+        with pytest.raises(ValueError):
+            teleport(QuantumState(2))
+
+
+class TestSuperdense:
+    def test_all_four_messages(self):
+        rng = random.Random(0)
+        for bits in ((0, 0), (0, 1), (1, 0), (1, 1)):
+            assert superdense_send(bits, rng=rng) == bits
+
+
+class TestFingerprinting:
+    def test_equal_inputs_always_accept(self):
+        scheme = FingerprintEquality(12, seed=0)
+        rng = random.Random(1)
+        x = tuple(rng.randrange(2) for _ in range(12))
+        for _ in range(20):
+            assert scheme.are_equal(x, x, rng=rng)
+
+    def test_unequal_inputs_mostly_rejected(self):
+        scheme = FingerprintEquality(12, seed=0)
+        rng = random.Random(2)
+        errors = 0
+        trials = 50
+        for _ in range(trials):
+            x = tuple(rng.randrange(2) for _ in range(12))
+            y = tuple(b ^ 1 for b in x)
+            if scheme.are_equal(x, y, repetitions=12, rng=rng):
+                errors += 1
+        assert errors <= 2
+
+    def test_logarithmic_communication(self):
+        scheme = FingerprintEquality(256, seed=0)
+        assert scheme.fingerprint_qubits <= 2 * math.ceil(math.log2(256)) + 4
+        assert scheme.communication_qubits(repetitions=5) == 5 * scheme.fingerprint_qubits
+
+    def test_fingerprint_state_normalised(self):
+        scheme = FingerprintEquality(8, seed=1)
+        state = scheme.fingerprint_state((1, 0, 1, 1, 0, 0, 1, 0))
+        assert np.linalg.norm(state.vector) == pytest.approx(1.0)
+
+    def test_overlap_matches_states(self):
+        scheme = FingerprintEquality(8, seed=3)
+        x = (1, 0, 1, 1, 0, 0, 1, 0)
+        y = (0, 0, 1, 1, 0, 0, 1, 1)
+        sx, sy = scheme.fingerprint_state(x), scheme.fingerprint_state(y)
+        inner = float(np.vdot(sx.vector, sy.vector).real)
+        assert inner == pytest.approx(scheme.overlap(x, y))
+
+
+class TestGrover:
+    def test_finds_unique_marked(self):
+        rng = random.Random(0)
+        hits = 0
+        for trial in range(20):
+            target = trial % 16
+            index, queries = grover_search(lambda i: i == target, 16, n_marked=1, rng=rng)
+            hits += index == target
+            assert queries == optimal_grover_iterations(16, 1)
+        assert hits >= 17  # theoretical success ~ 0.96
+
+    def test_query_count_scales_as_sqrt(self):
+        q16 = optimal_grover_iterations(16, 1)
+        q256 = optimal_grover_iterations(256, 1)
+        ratio = q256 / q16
+        assert 3.0 <= ratio <= 5.5  # sqrt(16) = 4
+
+    def test_find_any_with_unknown_count(self):
+        rng = random.Random(3)
+        marked = {3, 7, 11}
+        found, queries = grover_find_any(lambda i: i in marked, 32, rng=rng)
+        assert found in marked
+        assert queries <= 40
+
+    def test_find_any_on_empty(self):
+        rng = random.Random(4)
+        found, queries = grover_find_any(lambda i: False, 32, rng=rng)
+        assert found is None
+        assert queries <= 80
+
+    def test_success_probability_formula(self):
+        p = search_success_probability(4, 1, 1)
+        assert p == pytest.approx(1.0)  # N=4, one iteration is exact
+
+
+class TestHolevo:
+    def test_entropy_of_pure_state_zero(self):
+        rho = np.array([[1.0, 0.0], [0.0, 0.0]])
+        assert von_neumann_entropy(rho) == pytest.approx(0.0)
+
+    def test_entropy_of_maximally_mixed(self):
+        assert von_neumann_entropy(np.eye(2) / 2) == pytest.approx(1.0)
+
+    def test_holevo_of_orthogonal_ensemble_is_one_bit(self):
+        rho0 = np.array([[1.0, 0.0], [0.0, 0.0]])
+        rho1 = np.array([[0.0, 0.0], [0.0, 1.0]])
+        chi = holevo_bound([0.5, 0.5], [rho0, rho1])
+        assert chi == pytest.approx(1.0)
+
+    def test_holevo_never_exceeds_qubit_count(self):
+        # One qubit carries at most one bit -- "entanglement cannot replace
+        # communication" (Section 1).
+        rng = np.random.default_rng(0)
+        states = []
+        for _ in range(4):
+            v = rng.standard_normal(2) + 1j * rng.standard_normal(2)
+            v /= np.linalg.norm(v)
+            states.append(np.outer(v, v.conj()))
+        chi = holevo_bound([0.25] * 4, states)
+        assert chi <= accessible_information_cap(1) + 1e-9
+
+    def test_identical_states_carry_nothing(self):
+        rho = np.eye(2) / 2
+        assert holevo_bound([0.5, 0.5], [rho, rho]) == pytest.approx(0.0)

@@ -1,0 +1,150 @@
+"""Tests for the statevector simulator and gate library."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.quantum.gates import (
+    CNOT,
+    CZ,
+    HADAMARD,
+    IDENTITY,
+    PAULI_X,
+    PAULI_Y,
+    PAULI_Z,
+    S_GATE,
+    SWAP,
+    T_GATE,
+    controlled,
+    is_unitary,
+    phase,
+    rotation_x,
+    rotation_y,
+    rotation_z,
+)
+from repro.quantum.state import QuantumState
+
+
+class TestGates:
+    def test_all_gates_unitary(self):
+        for gate in (IDENTITY, PAULI_X, PAULI_Y, PAULI_Z, HADAMARD, S_GATE, T_GATE, CNOT, CZ, SWAP):
+            assert is_unitary(gate)
+
+    def test_rotations_unitary(self):
+        for theta in (0.1, 1.0, math.pi):
+            assert is_unitary(rotation_x(theta))
+            assert is_unitary(rotation_y(theta))
+            assert is_unitary(rotation_z(theta))
+            assert is_unitary(phase(theta))
+
+    def test_controlled_x_is_cnot(self):
+        assert np.allclose(controlled(PAULI_X), CNOT)
+
+    def test_hadamard_squares_to_identity(self):
+        assert np.allclose(HADAMARD @ HADAMARD, IDENTITY)
+
+
+class TestQuantumState:
+    def test_initial_state(self):
+        state = QuantumState(2)
+        assert state.amplitude([0, 0]) == pytest.approx(1.0)
+
+    def test_from_bits(self):
+        state = QuantumState.from_bits([1, 0, 1])
+        assert state.amplitude([1, 0, 1]) == pytest.approx(1.0)
+
+    def test_x_flips(self):
+        state = QuantumState(1)
+        state.apply(PAULI_X, [0])
+        assert state.amplitude([1]) == pytest.approx(1.0)
+
+    def test_hadamard_superposition(self):
+        state = QuantumState(1)
+        state.apply(HADAMARD, [0])
+        probs = state.probabilities()
+        assert probs[0] == pytest.approx(0.5)
+        assert probs[1] == pytest.approx(0.5)
+
+    def test_cnot_on_nonadjacent_qubits(self):
+        state = QuantumState.from_bits([1, 0, 0])
+        state.apply(CNOT, [0, 2])
+        assert state.amplitude([1, 0, 1]) == pytest.approx(1.0)
+
+    def test_cnot_reversed_order(self):
+        state = QuantumState.from_bits([0, 1])
+        state.apply(CNOT, [1, 0])  # control is qubit 1
+        assert state.amplitude([1, 1]) == pytest.approx(1.0)
+
+    def test_swap_gate(self):
+        state = QuantumState.from_bits([1, 0])
+        state.apply(SWAP, [0, 1])
+        assert state.amplitude([0, 1]) == pytest.approx(1.0)
+
+    def test_bell_state_probabilities(self):
+        state = QuantumState(2)
+        state.apply(HADAMARD, [0])
+        state.apply(CNOT, [0, 1])
+        probs = state.probabilities()
+        assert probs[0] == pytest.approx(0.5)
+        assert probs[3] == pytest.approx(0.5)
+        assert probs[1] == pytest.approx(0.0)
+
+    def test_measurement_collapses(self):
+        rng = random.Random(0)
+        state = QuantumState(2)
+        state.apply(HADAMARD, [0])
+        state.apply(CNOT, [0, 1])
+        a = state.measure([0], rng=rng)[0]
+        b = state.measure([1], rng=rng)[0]
+        assert a == b  # perfectly correlated
+
+    def test_marginal_probabilities(self):
+        state = QuantumState(2)
+        state.apply(HADAMARD, [0])
+        probs = state.probabilities([0])
+        assert probs[0] == pytest.approx(0.5)
+        probs1 = state.probabilities([1])
+        assert probs1[0] == pytest.approx(1.0)
+
+    def test_density_matrix_pure(self):
+        state = QuantumState(1)
+        state.apply(HADAMARD, [0])
+        rho = state.density_matrix()
+        assert np.trace(rho) == pytest.approx(1.0)
+        assert np.trace(rho @ rho).real == pytest.approx(1.0)
+
+    def test_reduced_density_matrix_of_bell_is_mixed(self):
+        state = QuantumState(2)
+        state.apply(HADAMARD, [0])
+        state.apply(CNOT, [0, 1])
+        rho = state.density_matrix([0])
+        assert np.allclose(rho, np.eye(2) / 2)
+
+    def test_fidelity(self):
+        a = QuantumState(1)
+        b = QuantumState(1)
+        b.apply(PAULI_X, [0])
+        assert a.fidelity(a.copy()) == pytest.approx(1.0)
+        assert a.fidelity(b) == pytest.approx(0.0)
+
+    def test_tensor(self):
+        a = QuantumState.from_bits([1])
+        b = QuantumState.from_bits([0])
+        joint = a.tensor(b)
+        assert joint.amplitude([1, 0]) == pytest.approx(1.0)
+
+    def test_invalid_vector_rejected(self):
+        with pytest.raises(ValueError):
+            QuantumState(1, np.array([1.0, 1.0]))
+
+    def test_duplicate_qubits_rejected(self):
+        state = QuantumState(2)
+        with pytest.raises(ValueError):
+            state.apply(CNOT, [0, 0])
+
+    def test_zero_probability_collapse_rejected(self):
+        state = QuantumState.from_bits([0])
+        with pytest.raises(ValueError):
+            state._collapse([0], [1])
