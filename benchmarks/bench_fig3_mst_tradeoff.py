@@ -4,26 +4,23 @@ Two layers:
 
 1. the closed-form curves (lower bound vs upper bound over W, with the
    crossovers at W = alpha sqrt(n) and W = alpha n);
-2. *measured* rounds: the Elkin-mode staged flood (rounds ~ W/alpha + D)
-   against the exact GKP algorithm (rounds ~ sqrt(n) polylog + D) on live
-   networks -- their minimum reproduces the paper's solid curve shape.
+2. *measured* rounds via the experiment harness: the ``fig3-mst-tradeoff``
+   scenario sweeps W, running the Elkin-mode staged flood (rounds ~
+   W/alpha + D) against the exact GKP algorithm (rounds ~ sqrt(n) polylog
+   + D) on live networks -- their minimum reproduces the paper's solid
+   curve shape.
+
+The sweep logic lives in :mod:`repro.experiments`; this file is a thin
+wrapper that runs the registered scenario's default grid and asserts the
+tradeoff shape.
 """
 
-import random
-
-import networkx as nx
-
-from repro.algorithms.elkin import run_elkin_approx_mst
-from repro.algorithms.mst import run_gkp_mst
 from repro.core.bounds import fig3_curve
-from repro.graphs.generators import random_connected_graph
+from repro.experiments import expand_grid, get_scenario, run_sweep
 
 N_FORMULA = 10_000
 ALPHA = 2.0
 WS = [1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0, 65536.0]
-
-N_MEASURED = 60
-MEASURED_WS = [2.0, 32.0, 256.0, 1024.0, 8192.0]
 
 
 def test_fig3_formula_curve(benchmark):
@@ -41,20 +38,14 @@ def test_fig3_formula_curve(benchmark):
 
 
 def _measured_tradeoff():
-    rows = []
-    for w in MEASURED_WS:
-        graph = random_connected_graph(N_MEASURED, extra_edge_prob=0.08, seed=17)
-        rng = random.Random(int(w))
-        for u, v in graph.edges():
-            graph.edges[u, v]["weight"] = rng.uniform(1.0, w) if w > 1 else 1.0
-        edges = list(graph.edges())
-        graph.edges[edges[0]]["weight"] = 1.0
-        graph.edges[edges[-1]]["weight"] = float(w)
-
-        _, elkin = run_elkin_approx_mst(graph, alpha=ALPHA)
-        _, gkp = run_gkp_mst(graph, bandwidth=128)
-        rows.append((w, elkin.rounds, gkp.rounds, min(elkin.rounds, gkp.rounds)))
-    return rows
+    scenario = get_scenario("fig3-mst-tradeoff")
+    points = expand_grid(scenario)  # the registered default W grid
+    report = run_sweep(points, store=None)
+    assert report.ok, [r.error for r in report.records if r.status != "ok"]
+    return [
+        (r["W"], r["elkin_rounds"], r["gkp_rounds"], r["combined_rounds"])
+        for r in report.results()
+    ]
 
 
 def test_fig3_measured_rounds(benchmark):

@@ -181,6 +181,7 @@ class CongestNetwork:
         """Move B bits along every directed edge; collect completed messages."""
         inboxes: dict[Hashable, list[Received]] = defaultdict(list)
         round_bits = 0
+        drained: list[tuple[Hashable, Hashable]] = []
         for (sender, receiver), queue in self._links.items():
             budget = self.bandwidth
             while queue and budget > 0:
@@ -195,6 +196,13 @@ class CongestNetwork:
             used = self.bandwidth - budget
             if used > self.max_edge_bits_per_round:
                 self.max_edge_bits_per_round = used
+            if not queue:
+                drained.append((sender, receiver))
+        # Drop drained queues so quiet links cost nothing: without this, a
+        # long run pays O(every directed edge ever used) per round even
+        # after all traffic has ceased.
+        for key in drained:
+            del self._links[key]
         self.per_round_bits.append(round_bits)
         return inboxes
 

@@ -1,0 +1,142 @@
+"""``python -m repro.experiments`` -- list, run and report experiments.
+
+Examples::
+
+    python -m repro.experiments list
+    python -m repro.experiments run fig3-mst-tradeoff --workers 4
+    python -m repro.experiments run chsh-gamma2 --set restarts=1,4,16 --replicates 3
+    python -m repro.experiments report fig3-mst-tradeoff
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.registry import ScenarioNotFound, get_scenario, list_scenarios
+from repro.experiments.runner import run_sweep
+from repro.experiments.store import DEFAULT_STORE, ResultStore
+from repro.experiments.sweep import expand_grid, parse_axis_overrides
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Experiment harness: scenario registry, sweep runner, result store.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show the scenario catalog")
+
+    run = sub.add_parser("run", help="expand a sweep and run it")
+    run.add_argument("scenario", help="scenario name (see `list`)")
+    run.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KEY=V1[,V2,...]",
+        help="grid axis override; repeatable; multiple values sweep that axis",
+    )
+    run.add_argument("--workers", type=int, default=1, help="process-pool size (1 = serial)")
+    run.add_argument("--replicates", type=int, default=1, help="seeded replicates per grid point")
+    run.add_argument("--base-seed", type=int, default=0, help="base seed for per-point derivation")
+    run.add_argument("--timeout", type=float, default=None, help="per-task timeout in seconds")
+    run.add_argument("--store", default=str(DEFAULT_STORE), help="result-store directory")
+    run.add_argument("--no-store", action="store_true", help="run without persisting results")
+    run.add_argument("--force", action="store_true", help="ignore cached records and re-run")
+
+    report = sub.add_parser("report", help="summarise stored records")
+    report.add_argument("scenario", nargs="?", default=None, help="restrict to one scenario")
+    report.add_argument("--store", default=str(DEFAULT_STORE), help="result-store directory")
+    return parser
+
+
+def _cmd_list() -> int:
+    print(f"{'scenario':26s} {'params':44s} description")
+    print("-" * 110)
+    for scn in list_scenarios():
+        axes = ", ".join(
+            f"{p.name}={scn.default_grid[p.name]}" if p.name in scn.default_grid
+            else f"{p.name}={p.default}"
+            for p in scn.params
+        )
+        print(f"{scn.name:26s} {axes:44s} {scn.description}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scn = get_scenario(args.scenario)
+    grid = parse_axis_overrides(args.overrides)
+    points = expand_grid(scn, grid, replicates=args.replicates, base_seed=args.base_seed)
+    store = None if args.no_store else ResultStore(args.store)
+    print(
+        f"sweep {scn.name}: {len(points)} point(s), workers={args.workers}, "
+        f"store={'<none>' if store is None else store.root}"
+    )
+    report = run_sweep(
+        points,
+        store=store,
+        workers=args.workers,
+        task_timeout=args.timeout,
+        force=args.force,
+        progress=print,
+    )
+    print(
+        f"done: {report.cached} cached, {report.executed} executed, {report.failed} failed"
+    )
+    for record in report.records:
+        if record.status == "ok":
+            print(f"  #{record.replicate} {record.params} -> {record.result}")
+        else:
+            print(f"  #{record.replicate} {record.params} -> {record.status.upper()}")
+    return 0 if report.ok else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    records = list(store.iter_records(args.scenario))
+    if not records:
+        print(f"no records in {store.root}" + (f" for {args.scenario!r}" if args.scenario else ""))
+        return 1
+    print(f"{len(records)} record(s) in {store.root}")
+    by_scenario: dict[str, list] = {}
+    for record in records:
+        by_scenario.setdefault(record.scenario, []).append(record)
+    for name in sorted(by_scenario):
+        group = by_scenario[name]
+        ok = sum(1 for r in group if r.status == "ok")
+        print(f"\n== {name}: {len(group)} record(s), {ok} ok ==")
+        for record in group:
+            status = "" if record.status == "ok" else f"  [{record.status.upper()}]"
+            if record.status == "ok":
+                payload = record.result
+            else:
+                error_lines = (record.error or "").strip().splitlines()
+                payload = error_lines[-1] if error_lines else record.status
+            print(f"  {record.params} seed={record.seed}{status}")
+            print(f"    -> {payload}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "run":
+            return _cmd_run(args)
+        return _cmd_report(args)
+    except BrokenPipeError:
+        # Output piped into e.g. `head`; not an error.
+        return 0
+    except (ScenarioNotFound, KeyError, ValueError) as exc:
+        # Bad scenario name, unknown axis, malformed --set, ...: a clean
+        # one-line error beats a traceback at the command line.
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

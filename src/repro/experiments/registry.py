@@ -1,0 +1,147 @@
+"""The scenario registry: declarative experiment registration.
+
+A *scenario* is a callable ``fn(*, seed, **params) -> dict`` plus typed
+parameter specs and a default sweep grid.  Registering one makes it
+discoverable by the CLI (``python -m repro.experiments list``), sweepable
+by the grid expander, runnable by the parallel runner, and cacheable by
+the result store -- so reproducing a new figure or ablation is a ~20-line
+``@scenario`` registration rather than a new benchmark script.
+
+Scenario functions must be module-level (picklable by reference) so the
+process-pool runner can ship them to workers.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+#: Modules imported by default to populate the registry (workers and the
+#: CLI both import these before resolving scenario names).
+BUILTIN_SCENARIO_MODULES = ("repro.experiments.scenarios",)
+
+
+class ScenarioNotFound(KeyError):
+    """Raised when a scenario name is not in the registry."""
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """One typed scenario parameter."""
+
+    name: str
+    type: type = float
+    default: Any = None
+    help: str = ""
+
+    def coerce(self, raw: Any) -> Any:
+        """Coerce a raw (possibly string, e.g. CLI) value to the spec type."""
+        if raw is None:
+            return self.default
+        if isinstance(raw, self.type):
+            return raw
+        if self.type is bool and isinstance(raw, str):
+            if raw.lower() in ("1", "true", "yes", "on"):
+                return True
+            if raw.lower() in ("0", "false", "no", "off"):
+                return False
+            raise ValueError(f"cannot parse {raw!r} as bool for {self.name!r}")
+        return self.type(raw)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A registered experiment scenario."""
+
+    name: str
+    fn: Callable[..., dict]
+    params: tuple[ParamSpec, ...] = ()
+    description: str = ""
+    #: Bumped when the scenario's semantics change; part of the cache key.
+    version: str = "1"
+    #: Default sweep grid: param name -> list of values (single values are
+    #: fixed axes).  ``run NAME`` with no --set sweeps this grid.
+    default_grid: dict[str, list] = field(default_factory=dict)
+    tags: tuple[str, ...] = ()
+
+    def spec(self, name: str) -> ParamSpec:
+        for p in self.params:
+            if p.name == name:
+                return p
+        raise KeyError(f"scenario {self.name!r} has no parameter {name!r}")
+
+    def resolve_params(self, overrides: dict[str, Any] | None = None) -> dict[str, Any]:
+        """Defaults merged with coerced overrides; rejects unknown names."""
+        overrides = overrides or {}
+        unknown = set(overrides) - {p.name for p in self.params}
+        if unknown:
+            raise KeyError(
+                f"unknown parameter(s) {sorted(unknown)} for scenario {self.name!r}; "
+                f"known: {[p.name for p in self.params]}"
+            )
+        resolved = {}
+        for p in self.params:
+            resolved[p.name] = p.coerce(overrides[p.name]) if p.name in overrides else p.default
+        return resolved
+
+    def run(self, params: dict[str, Any], seed: int) -> dict:
+        return self.fn(seed=seed, **params)
+
+
+_REGISTRY: dict[str, Scenario] = {}
+
+
+def scenario(
+    name: str,
+    *,
+    params: list[ParamSpec] | tuple[ParamSpec, ...] = (),
+    description: str = "",
+    version: str = "1",
+    default_grid: dict[str, list] | None = None,
+    tags: tuple[str, ...] = (),
+) -> Callable[[Callable[..., dict]], Callable[..., dict]]:
+    """Decorator registering ``fn(*, seed, **params) -> dict`` as a scenario."""
+
+    def decorate(fn: Callable[..., dict]) -> Callable[..., dict]:
+        if name in _REGISTRY and _REGISTRY[name].fn is not fn:
+            raise ValueError(f"scenario {name!r} already registered")
+        grid = dict(default_grid or {})
+        spec_names = {p.name for p in params}
+        unknown = set(grid) - spec_names
+        if unknown:
+            raise ValueError(f"default_grid keys {sorted(unknown)} not in params of {name!r}")
+        doc_first_line = (fn.__doc__ or "").strip().splitlines()[:1]
+        _REGISTRY[name] = Scenario(
+            name=name,
+            fn=fn,
+            params=tuple(params),
+            description=description or (doc_first_line[0] if doc_first_line else ""),
+            version=version,
+            default_grid=grid,
+            tags=tuple(tags),
+        )
+        return fn
+
+    return decorate
+
+
+def load_builtin_scenarios(extra_modules: tuple[str, ...] = ()) -> None:
+    """Import the scenario modules (idempotent) to populate the registry."""
+    for module in (*BUILTIN_SCENARIO_MODULES, *extra_modules):
+        importlib.import_module(module)
+
+
+def get_scenario(name: str) -> Scenario:
+    if name not in _REGISTRY:
+        load_builtin_scenarios()
+    if name not in _REGISTRY:
+        raise ScenarioNotFound(
+            f"unknown scenario {name!r}; known: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[name]
+
+
+def list_scenarios() -> list[Scenario]:
+    load_builtin_scenarios()
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]

@@ -1,0 +1,206 @@
+"""Sweep execution: serial or process-pool, with caching and failure capture.
+
+The runner resolves each sweep point against the result store first
+(skip-if-cached), ships the misses to a process pool (workers re-import
+the scenario modules, so only names and plain params cross the pipe),
+captures failures as records instead of crashing the sweep, enforces a
+per-task timeout, and returns records in deterministic grid order
+regardless of completion order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import repro
+from repro.experiments.registry import (
+    BUILTIN_SCENARIO_MODULES,
+    get_scenario,
+    load_builtin_scenarios,
+)
+from repro.experiments.store import ResultRecord, ResultStore, cache_key
+from repro.experiments.sweep import SweepPoint
+
+
+@dataclass
+class SweepReport:
+    """Outcome of one sweep: records in grid order plus cache accounting."""
+
+    scenario: str
+    records: list[ResultRecord] = field(default_factory=list)
+    cached: int = 0
+    executed: int = 0
+    failed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.failed == 0
+
+    def results(self) -> list[dict]:
+        """The per-point result payloads, grid-ordered (None for failures)."""
+        return [r.result for r in self.records]
+
+
+def _execute_point(
+    scenario_name: str,
+    params: dict[str, Any],
+    seed: int,
+    scenario_modules: tuple[str, ...],
+) -> dict:
+    """Worker entry: run one point, capture success or failure as a dict."""
+    load_builtin_scenarios(tuple(m for m in scenario_modules if m not in BUILTIN_SCENARIO_MODULES))
+    start = time.perf_counter()
+    try:
+        scn = get_scenario(scenario_name)
+        result = scn.run(params, seed)
+        if not isinstance(result, dict):
+            raise TypeError(
+                f"scenario {scenario_name!r} must return a dict, got {type(result).__name__}"
+            )
+        return {"status": "ok", "result": result, "duration_s": time.perf_counter() - start}
+    except Exception:
+        return {
+            "status": "error",
+            "error": traceback.format_exc(),
+            "duration_s": time.perf_counter() - start,
+        }
+
+
+def run_sweep(
+    points: list[SweepPoint],
+    store: ResultStore | None = None,
+    workers: int = 1,
+    task_timeout: float | None = None,
+    force: bool = False,
+    scenario_modules: tuple[str, ...] = (),
+    progress: Callable[[str], None] | None = None,
+) -> SweepReport:
+    """Run a sweep; returns records in the order of ``points``.
+
+    ``workers <= 1`` runs inline (same code path workers execute, so a
+    serial run is bit-identical to a parallel one).  With a store, points
+    whose cache key already has a record are served from cache unless
+    ``force``; fresh records are persisted as they complete.
+
+    ``task_timeout`` bounds the *additional* wall-clock wait per point:
+    the runner collects results in grid order, so waiting on point k
+    also buys running time for every point behind it in the queue.
+    Setting it forces pool execution even with ``workers=1`` (a timeout
+    cannot be enforced on in-process execution), and a pool with a hung
+    worker is terminated rather than joined, so ``run_sweep`` returns.
+    """
+    if not points:
+        raise ValueError("empty sweep")
+    names = {p.scenario for p in points}
+    if len(names) != 1:
+        raise ValueError(f"sweep mixes scenarios {sorted(names)}; run them separately")
+    scenario = get_scenario(points[0].scenario)
+    report = SweepReport(scenario=scenario.name)
+    say = progress or (lambda _msg: None)
+
+    keys = {
+        p.index: cache_key(p.scenario, p.params, p.seed, scenario_version=scenario.version)
+        for p in points
+    }
+    slots: dict[int, ResultRecord] = {}
+    pending: list[SweepPoint] = []
+    for point in points:
+        cached = None if (force or store is None) else store.get(scenario.name, keys[point.index])
+        if cached is not None:
+            slots[point.index] = cached
+            report.cached += 1
+            if cached.status != "ok":
+                # A persisted failure served from cache still fails the
+                # sweep -- callers gating on report.ok must see it.
+                report.failed += 1
+            say(f"[cache:{cached.status}] {scenario.name} #{point.index} {point.params}")
+        else:
+            pending.append(point)
+
+    def finish(point: SweepPoint, outcome: dict) -> None:
+        record = ResultRecord(
+            key=keys[point.index],
+            scenario=point.scenario,
+            params=point.params,
+            seed=point.seed,
+            replicate=point.replicate,
+            status=outcome["status"],
+            result=outcome.get("result"),
+            error=outcome.get("error"),
+            duration_s=outcome.get("duration_s", 0.0),
+            scenario_version=scenario.version,
+            code_version=repro.__version__,
+        )
+        slots[point.index] = record
+        report.executed += 1
+        if record.status != "ok":
+            report.failed += 1
+            say(f"[{record.status}] {scenario.name} #{point.index} {point.params}")
+        else:
+            say(
+                f"[done] {scenario.name} #{point.index} {point.params} "
+                f"({record.duration_s:.2f}s)"
+            )
+        # Failures are persisted too: a sweep that died at point 37 resumes
+        # there, and `report` can show what broke.  `force` re-runs them.
+        if store is not None:
+            store.put(record)
+
+    # Ship the scenario's defining module to workers so pools work under
+    # spawn/forkserver too, where the parent's registry is not inherited.
+    # (A __main__ registration can't be re-imported by name; it still works
+    # under fork, the Linux default.)
+    if scenario.fn.__module__ not in ("__main__", None):
+        scenario_modules = tuple(dict.fromkeys((*scenario_modules, scenario.fn.__module__)))
+
+    use_pool = pending and (workers > 1 or task_timeout is not None)
+    if not use_pool:
+        for point in pending:
+            finish(
+                point,
+                _execute_point(point.scenario, point.params, point.seed, scenario_modules),
+            )
+    else:
+        pool = multiprocessing.get_context().Pool(processes=min(max(workers, 1), len(pending)))
+        timed_out = False
+        try:
+            asyncs = {
+                point.index: pool.apply_async(
+                    _execute_point,
+                    (point.scenario, point.params, point.seed, scenario_modules),
+                )
+                for point in pending
+            }
+            for point in pending:
+                try:
+                    outcome = asyncs[point.index].get(timeout=task_timeout)
+                except multiprocessing.TimeoutError:
+                    timed_out = True
+                    outcome = {
+                        "status": "timeout",
+                        "error": f"task exceeded {task_timeout}s",
+                        "duration_s": float(task_timeout or 0.0),
+                    }
+                except Exception:
+                    # Worker crashed (e.g. killed mid-task): capture, don't
+                    # lose the rest of the sweep's bookkeeping.
+                    outcome = {
+                        "status": "error",
+                        "error": traceback.format_exc(),
+                        "duration_s": 0.0,
+                    }
+                finish(point, outcome)
+        finally:
+            if timed_out:
+                # A hung worker would make close()+join() block forever.
+                pool.terminate()
+            else:
+                pool.close()
+            pool.join()
+
+    report.records = [slots[p.index] for p in points]
+    return report

@@ -1,0 +1,123 @@
+"""On-disk result store with content-hash cache keys.
+
+Each completed sweep point is one JSON record under
+``<root>/<scenario>/<cache_key>.json``.  The cache key hashes the
+scenario name, its declared version, the package version, the resolved
+params and the derived seed -- so re-running an unchanged sweep serves
+every point from cache, while bumping a scenario's ``version`` (or the
+package version) naturally invalidates stale results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+import repro
+from repro.experiments.sweep import canonical_json
+
+DEFAULT_STORE = Path("experiment-results")
+
+
+def cache_key(
+    scenario_name: str,
+    params: dict[str, Any],
+    seed: int,
+    scenario_version: str = "1",
+    code_version: str | None = None,
+) -> str:
+    """Content hash identifying one experiment task."""
+    payload = canonical_json(
+        {
+            "scenario": scenario_name,
+            "scenario_version": scenario_version,
+            "code_version": code_version if code_version is not None else repro.__version__,
+            "params": params,
+            "seed": seed,
+        }
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:24]
+
+
+@dataclass
+class ResultRecord:
+    """One persisted experiment result (or captured failure)."""
+
+    key: str
+    scenario: str
+    params: dict[str, Any]
+    seed: int
+    replicate: int
+    status: str  # "ok" | "error" | "timeout"
+    result: dict | None = None
+    error: str | None = None
+    duration_s: float = 0.0
+    scenario_version: str = "1"
+    code_version: str = ""
+    meta: dict = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True, indent=2, default=repr)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ResultRecord":
+        data = json.loads(text)
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+class ResultStore:
+    """Directory-backed store: write-once JSON records keyed by cache key."""
+
+    def __init__(self, root: str | os.PathLike = DEFAULT_STORE):
+        self.root = Path(root)
+
+    def _path(self, scenario_name: str, key: str) -> Path:
+        return self.root / scenario_name / f"{key}.json"
+
+    def has(self, scenario_name: str, key: str) -> bool:
+        return self._path(scenario_name, key).is_file()
+
+    def get(self, scenario_name: str, key: str) -> ResultRecord | None:
+        path = self._path(scenario_name, key)
+        if not path.is_file():
+            return None
+        return ResultRecord.from_json(path.read_text())
+
+    def put(self, record: ResultRecord) -> Path:
+        path = self._path(record.scenario, record.key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Atomic write: a crashed run never leaves a truncated record that
+        # later poisons the cache.
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(record.to_json())
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        return path
+
+    def iter_records(self, scenario_name: str | None = None) -> Iterator[ResultRecord]:
+        if not self.root.is_dir():
+            return
+        dirs = (
+            [self.root / scenario_name]
+            if scenario_name is not None
+            else sorted(p for p in self.root.iterdir() if p.is_dir())
+        )
+        for directory in dirs:
+            if not directory.is_dir():
+                continue
+            for path in sorted(directory.glob("*.json")):
+                yield ResultRecord.from_json(path.read_text())
+
+    def count(self, scenario_name: str | None = None) -> int:
+        return sum(1 for _ in self.iter_records(scenario_name))
