@@ -3,85 +3,47 @@
 Builds IPmod3 -> Ham and Gap-Eq -> Gap-Ham instances for growing n, checks
 soundness/completeness on every instance, and reports construction sizes
 (the reductions are linear, which is what makes Theorem 3.4 tight).
+
+The sweep logic lives in the ``gadget-reductions`` scenario registration
+(:mod:`repro.experiments.scenarios`); this file is a thin wrapper over the
+registered default n grid.
 """
 
-import random
-
-from repro.core.gadgets import (
-    gap_eq_mismatch_count,
-    gap_eq_to_ham,
-    ipmod3_to_ham,
-    ipmod3_value,
-)
+from repro.experiments import expand_grid, get_scenario, run_sweep
 
 
-def _ipmod3_batch(n: int, trials: int, seed: int = 0):
-    rng = random.Random(seed)
-    checked = 0
-    for _ in range(trials):
-        x = tuple(rng.randrange(2) for _ in range(n))
-        y = tuple(rng.randrange(2) for _ in range(n))
-        instance = ipmod3_to_ham(x, y)
-        assert instance.is_hamiltonian() == (ipmod3_value(x, y) == 0)
-        checked += 1
-    return checked, instance.n_nodes
+def _sweep(grid: dict | None = None):
+    report = run_sweep(expand_grid(get_scenario("gadget-reductions"), grid), store=None)
+    assert report.ok, [r.error for r in report.records if r.status != "ok"]
+    return report.results()
 
 
-def test_ipmod3_reduction_scale(benchmark):
-    results = benchmark.pedantic(
-        lambda: [(n, *_ipmod3_batch(n, trials=20, seed=n)) for n in (8, 32, 128, 512)],
-        iterations=1,
-        rounds=1,
+def test_reduction_scale(benchmark):
+    rows = benchmark.pedantic(_sweep, iterations=1, rounds=1)
+    print("\n=== Section 7 gadget reductions (Figs. 4-7, 12) ===")
+    print(
+        f"{'n':>6s} {'IPmod3 nodes':>13s} {'blowup':>7s} "
+        f"{'Gap-Eq nodes':>13s} {'blowup':>7s}"
     )
-    print("\n=== IPmod3 -> Ham reduction (Figs. 4-6, 12) ===")
-    print(f"{'n':>6s} {'instances checked':>18s} {'graph nodes':>12s} {'blowup':>7s}")
-    for n, checked, nodes in results:
-        print(f"{n:6d} {checked:18d} {nodes:12d} {nodes / n:7.1f}")
-    assert all(nodes == 12 * n for n, _, nodes in results)
-
-
-def _gap_eq_batch(n: int, trials: int, seed: int = 0):
-    rng = random.Random(seed)
-    for _ in range(trials):
-        x = list(rng.randrange(2) for _ in range(n))
-        y = list(x)
-        delta = rng.randrange(0, n // 2)
-        for i in rng.sample(range(n), delta):
-            y[i] ^= 1
-        instance = gap_eq_to_ham(x, y)
-        d = gap_eq_mismatch_count(x, y)
-        assert instance.is_hamiltonian() == (d == 0)
-        if d > 0:
-            assert instance.cycle_count() == d + 1
-    return instance.n_nodes
-
-
-def test_gap_eq_reduction_scale(benchmark):
-    results = benchmark.pedantic(
-        lambda: [(n, _gap_eq_batch(n, trials=20, seed=n)) for n in (8, 32, 128, 512)],
-        iterations=1,
-        rounds=1,
-    )
-    print("\n=== Gap-Eq -> Gap-Ham reduction (Fig. 7) ===")
-    print(f"{'n':>6s} {'graph nodes':>12s} {'blowup':>7s}")
-    for n, nodes in results:
-        print(f"{n:6d} {nodes:12d} {nodes / n:7.1f}")
-    assert all(nodes == 6 * n for n, nodes in results)
+    for r in rows:
+        print(
+            f"{r['n']:6d} {r['ipmod3_nodes']:13d} {r['ipmod3_blowup']:7.1f} "
+            f"{r['gap_eq_nodes']:13d} {r['gap_eq_blowup']:7.1f}"
+        )
+    # Soundness/completeness on every checked instance.
+    assert all(r["ipmod3_sound"] for r in rows)
+    assert all(r["gap_eq_sound"] for r in rows)
+    # Linear blowups: 12n and 6n nodes.
+    assert all(r["ipmod3_nodes"] == 12 * r["n"] for r in rows)
+    assert all(r["gap_eq_nodes"] == 6 * r["n"] for r in rows)
 
 
 def test_far_instances_have_many_cycles(benchmark):
     """The gap structure: distance beta*n inputs give Omega(n) cycles."""
-
-    def run():
-        n = 256
-        beta = 0.125
-        rng = random.Random(1)
-        x = [rng.randrange(2) for _ in range(n)]
-        y = list(x)
-        for i in rng.sample(range(n), int(2 * beta * n) + 1):
-            y[i] ^= 1
-        return gap_eq_to_ham(x, y).cycle_count()
-
-    cycles = benchmark(run)
+    rows = benchmark.pedantic(
+        lambda: _sweep({"n": 256, "beta": 0.125, "trials": 5}), iterations=1, rounds=1
+    )
+    cycles = rows[0]["far_instance_cycles"]
     print(f"\nfar instance cycle count (n = 256, beta = 1/8): {cycles}")
+    assert rows[0]["far_cycles_linear"]
     assert cycles >= 0.125 * 256

@@ -1,0 +1,107 @@
+"""Benchmark the dense vs event CONGEST engines and record a timing artifact.
+
+Two measurements, written as one JSON file (``BENCH_pr2.json`` by default):
+
+1. ``engine_comparison`` -- the largest ``fig3-mst-tradeoff`` grid point
+   (W = 8192) run on both engines via the ``fig3-engine-speedup`` scenario;
+   the acceptance bar is an event/dense speedup of at least 3x with both
+   engines in exact agreement.
+2. ``harness_smoke`` -- a tiny ``fig3-mst-tradeoff`` grid through the sweep
+   runner with ``--workers 2``, timing the end-to-end harness path.
+
+Usage::
+
+    python benchmarks/engine_speedup.py --out BENCH_pr2.json
+    python benchmarks/engine_speedup.py --quick   # smaller instance for CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+
+from repro.experiments import expand_grid, get_scenario, run_sweep
+
+
+def engine_comparison(n: int, aspect_ratio: float) -> dict:
+    scenario = get_scenario("fig3-engine-speedup")
+    params = scenario.resolve_params({"n": n, "aspect_ratio": aspect_ratio})
+    result = scenario.run(params, seed=0)
+    return {
+        "n": n,
+        "aspect_ratio": aspect_ratio,
+        "dense_seconds": result["dense_seconds"],
+        "event_seconds": result["event_seconds"],
+        "speedup": result["speedup"],
+        "engines_agree": result["engines_agree"],
+        "elkin_rounds": result["elkin_rounds"],
+        "gkp_rounds": result["gkp_rounds"],
+    }
+
+
+def harness_smoke(workers: int) -> dict:
+    scenario = get_scenario("fig3-mst-tradeoff")
+    grid = {"n": [24], "aspect_ratio": [2.0, 256.0]}
+    points = expand_grid(scenario, grid)
+    start = time.perf_counter()
+    report = run_sweep(points, store=None, workers=workers)
+    elapsed = time.perf_counter() - start
+    return {
+        "scenario": scenario.name,
+        "grid": {k: v for k, v in grid.items()},
+        "workers": workers,
+        "points": len(points),
+        "failed": report.failed,
+        "seconds": elapsed,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_pr2.json", help="output JSON path")
+    parser.add_argument("--workers", type=int, default=2, help="harness smoke pool size")
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller grid point (CI-friendly)"
+    )
+    args = parser.parse_args(argv)
+
+    n, aspect_ratio = (40, 1024.0) if args.quick else (60, 8192.0)
+    comparison = engine_comparison(n, aspect_ratio)
+    smoke = harness_smoke(args.workers)
+    payload = {
+        "benchmark": "pr2-engine-speedup",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "engine_comparison": comparison,
+        "harness_smoke": smoke,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
+    print(
+        f"largest fig3 point (n={n}, W={aspect_ratio:.0f}): "
+        f"dense {comparison['dense_seconds']:.3f}s, "
+        f"event {comparison['event_seconds']:.3f}s, "
+        f"speedup {comparison['speedup']:.2f}x, "
+        f"agree={comparison['engines_agree']}"
+    )
+    print(
+        f"harness smoke ({smoke['points']} points, {smoke['workers']} workers): "
+        f"{smoke['seconds']:.2f}s, {smoke['failed']} failed"
+    )
+    print(f"wrote {args.out}")
+    if not comparison["engines_agree"]:
+        print("ERROR: engines disagree", file=sys.stderr)
+        return 1
+    if smoke["failed"]:
+        print("ERROR: harness smoke failed", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,7 @@ def run_centralised(
     bandwidth: int = 128,
     diameter_bound: int | None = None,
     seed: int | None = 0,
+    engine: str = "event",
 ) -> tuple[Any, RunResult]:
     """Collect the weighted graph at a leader, apply ``solver``, broadcast.
 
@@ -76,6 +77,8 @@ def run_centralised(
             ]
         )
 
-    network = CongestNetwork(graph, factory, bandwidth=bandwidth, seed=seed, inputs=inputs)
+    network = CongestNetwork(
+        graph, factory, bandwidth=bandwidth, seed=seed, inputs=inputs, engine=engine
+    )
     result = network.run(max_rounds=500_000)
     return result.unanimous_output(), result

@@ -22,7 +22,12 @@ from repro.congest.node import Node, NodeProgram
 
 class Phase:
     """One synchronous phase.  All methods may read/write ``shared`` (the
-    node's local knowledge dictionary) and send via the node handle."""
+    node's local knowledge dictionary) and send via the node handle.
+
+    ``duration`` must be stable while the phase is active (it may depend on
+    values fixed before the phase was entered, e.g. ``shared['D']``) -- the
+    event engine computes the phase boundary from it once per step.
+    """
 
     name = "phase"
 
@@ -38,6 +43,20 @@ class Phase:
     def on_exit(self, node: Node, shared: dict) -> None:  # pragma: no cover
         pass
 
+    def idle_until(self, node: Node, round_in_phase: int, shared: dict) -> int | None:
+        """The phase-level idleness hint for the event engine.
+
+        Given that ``round_in_phase`` rounds of this phase have run at this
+        node, return the next round-in-phase that must be stepped even if no
+        message arrives, or ``None`` if only deliveries (and the phase-end
+        boundary, which :class:`PhasedProgram` always schedules) matter.
+
+        Contract: every skipped round's ``on_round`` with an empty inbox
+        must be a no-op -- no sends and no change to future behaviour.  The
+        default declares every round active, which is always safe.
+        """
+        return round_in_phase + 1
+
 
 class PhasedProgram(NodeProgram):
     """Run a list of phases back to back; halt with ``shared['output']``.
@@ -51,18 +70,22 @@ class PhasedProgram(NodeProgram):
         self.phases = list(phases)
         self.index = 0
         self.round_in_phase = 0
+        # Absolute round after which the current phase started; phase-local
+        # rounds are computed from it so skipped (idle) rounds cost nothing.
+        self._phase_started_after = 0
         self.shared: dict[str, Any] = {}
 
     def on_start(self, node: Node) -> None:
         inputs = node.input if isinstance(node.input, dict) else {}
         self.shared["D"] = int(inputs.get("diameter_bound", node.n_nodes))
         self.shared["inputs"] = inputs
-        self._enter_current(node)
+        self._enter_current(node, 0)
 
-    def _enter_current(self, node: Node) -> None:
+    def _enter_current(self, node: Node, at_round: int) -> None:
         while self.index < len(self.phases):
             phase = self.phases[self.index]
             self.round_in_phase = 0
+            self._phase_started_after = at_round
             phase.on_enter(node, self.shared)
             if phase.duration(node, self.shared) > 0:
                 return
@@ -74,12 +97,24 @@ class PhasedProgram(NodeProgram):
         if self.index >= len(self.phases):  # pragma: no cover - already halted
             return
         phase = self.phases[self.index]
-        self.round_in_phase += 1
+        self.round_in_phase = round_no - self._phase_started_after
         phase.on_round(node, self.round_in_phase, inbox, self.shared)
         if self.round_in_phase >= phase.duration(node, self.shared):
             phase.on_exit(node, self.shared)
             self.index += 1
-            self._enter_current(node)
+            self._enter_current(node, round_no)
+
+    def next_active_round(self, node: Node, after_round: int) -> int | None:
+        """Schedule the phase's next spontaneous round and its boundary."""
+        if self.index >= len(self.phases):
+            return None
+        phase = self.phases[self.index]
+        rp = after_round - self._phase_started_after
+        boundary = self._phase_started_after + phase.duration(node, self.shared)
+        hint = phase.idle_until(node, rp, self.shared)
+        if hint is None:
+            return boundary
+        return min(self._phase_started_after + max(hint, rp + 1), boundary)
 
 
 class LeaderElectionPhase(Phase):
@@ -107,6 +142,9 @@ class LeaderElectionPhase(Phase):
     def on_exit(self, node: Node, shared: dict) -> None:
         shared["leader"] = shared.pop("_best")
         shared["is_leader"] = shared["leader"] == node.id
+
+    def idle_until(self, node: Node, round_in_phase: int, shared: dict) -> int | None:
+        return None  # re-floods only on arrival of a better candidate
 
 
 class BfsTreePhase(Phase):
@@ -141,6 +179,9 @@ class BfsTreePhase(Phase):
                         node.send(neighbor, ("bfs", shared["depth"]))
             elif tag == "child":
                 shared["children"].append(msg.sender)
+
+    def idle_until(self, node: Node, round_in_phase: int, shared: dict) -> int | None:
+        return None  # adoption and child reports are delivery-driven
 
 
 class ConvergecastPhase(Phase):
@@ -188,6 +229,12 @@ class ConvergecastPhase(Phase):
         for key in ("_acc", "_waiting", "_sent"):
             shared.pop(key, None)
 
+    def idle_until(self, node: Node, round_in_phase: int, shared: dict) -> int | None:
+        # Aggregation is delivery-driven.  (The root flips its private
+        # ``_sent`` flag on an empty round, but never sends -- externally a
+        # no-op, so skipping is safe.)
+        return None
+
 
 class BroadcastPhase(Phase):
     """Push the root's ``shared[value_key]`` down the BFS tree to everyone.
@@ -218,6 +265,9 @@ class BroadcastPhase(Phase):
             shared[self.value_key] = msg.payload[1]
             for child in shared["children"]:
                 node.send(child, ("bc", msg.payload[1]))
+
+    def idle_until(self, node: Node, round_in_phase: int, shared: dict) -> int | None:
+        return None  # pure store-and-forward on delivery
 
 
 class PipelinedUpcastPhase(Phase):
@@ -269,6 +319,14 @@ class PipelinedUpcastPhase(Phase):
                     f"upcast capacity too small: {len(leftover)} items stranded at {node.id!r}"
                 )
 
+    def idle_until(self, node: Node, round_in_phase: int, shared: dict) -> int | None:
+        # Forwarding one item per round is spontaneous while the local queue
+        # is non-empty; a drained queue refills only on delivery.  (Reducers
+        # must be pure: they are re-applied on every stepped round.)
+        if shared.get("_queue") and shared.get("parent") is not None:
+            return round_in_phase + 1
+        return None
+
 
 class PipelinedDowncastPhase(Phase):
     """Pipeline the root's item list to every node in ``D + K`` rounds."""
@@ -311,6 +369,13 @@ class PipelinedDowncastPhase(Phase):
             raise RuntimeError(
                 f"downcast capacity too small: {len(leftover)} items undelivered at root"
             )
+
+    def idle_until(self, node: Node, round_in_phase: int, shared: dict) -> int | None:
+        # Active while the local queue drains (root seeds it in on_enter);
+        # otherwise items arrive only by delivery.
+        if shared.get("_down_queue"):
+            return round_in_phase + 1
+        return None
 
 
 class LocalComputationPhase(Phase):

@@ -207,6 +207,22 @@ class BoruvkaMSTProgram(NodeProgram):
             state.__dict__.pop("best_cand", None)
             node.broadcast(("label", state.label), bits=_control_bits(node, ids=1))
 
+    def next_active_round(self, node: Node, after_round: int) -> int | None:
+        # Spontaneous rounds per iteration: r=1 (compute + flood candidate),
+        # r=budget+2 (choose + mark labels dirty), r=length (re-announce);
+        # everything else is delivery-driven.  The halt round caps the
+        # schedule.
+        budget = self._budget(node)
+        length = self._iteration_length(node)
+        halt_round = self._iterations(node) * length + 1
+        if after_round >= halt_round:
+            return None
+        base = (after_round // length) * length
+        for off in (1, budget + 2, length, length + 1):
+            if base + off > after_round:
+                return min(base + off, halt_round)
+        return halt_round  # pragma: no cover - offsets above always cover
+
     @staticmethod
     def _better(a: tuple | None, b: tuple | None) -> bool:
         if a is None:
@@ -377,6 +393,18 @@ class ControlledBoruvkaPhase(Phase):
         for key in ("_nlabels", "_best_cand", "_dirty", "_ldirty", "_diam_est", "_proposals_in"):
             shared.pop(key, None)
 
+    def idle_until(self, node: Node, round_in_phase: int, shared: dict) -> int | None:
+        # Same spontaneous schedule as BoruvkaMSTProgram: r=1 (candidate),
+        # r=budget+2 (propose), r=length (re-announce); the dirty-flag flood
+        # windows in between fire only in the same step as a delivery.
+        budget = self._budget(node)
+        length = self._iteration_length(node)
+        base = (round_in_phase // length) * length
+        for off in (1, budget + 2, length, length + 1):
+            if base + off > round_in_phase:
+                return base + off
+        return round_in_phase + 1  # pragma: no cover - offsets above always cover
+
     @staticmethod
     def _better(a: tuple | None, b: tuple | None) -> bool:
         if a is None:
@@ -404,6 +432,9 @@ class _AnnounceLabelsPhase(Phase):
         for msg in inbox:
             if msg.payload[0] == "flabel":
                 shared.setdefault("_phaseb_nlabels", {})[repr(msg.sender)] = msg.payload[1]
+
+    def idle_until(self, node: Node, round_in_phase: int, shared: dict) -> int | None:
+        return None  # collection is delivery-driven
 
 
 class _CollectCandidatesPhase(Phase):
@@ -634,10 +665,14 @@ def tree_weight(graph: nx.Graph, edges: set[frozenset], weight: str = "weight") 
 
 
 def run_boruvka_mst(
-    graph: nx.Graph, bandwidth: int = 64, seed: int | None = 0, max_rounds: int = 500_000
+    graph: nx.Graph,
+    bandwidth: int = 64,
+    seed: int | None = 0,
+    max_rounds: int = 500_000,
+    engine: str = "event",
 ) -> tuple[set[frozenset], RunResult]:
     """Run Boruvka MST; returns (tree edges, run metrics)."""
-    network = CongestNetwork(graph, BoruvkaMSTProgram, bandwidth=bandwidth, seed=seed)
+    network = CongestNetwork(graph, BoruvkaMSTProgram, bandwidth=bandwidth, seed=seed, engine=engine)
     result = network.run(max_rounds=max_rounds)
     return collect_tree_edges(result.outputs), result
 
@@ -649,6 +684,7 @@ def run_gkp_mst(
     cap: int | None = None,
     seed: int | None = 0,
     max_rounds: int = 500_000,
+    engine: str = "event",
 ) -> tuple[set[frozenset], RunResult]:
     """Run the GKP-style MST; returns (tree edges, run metrics)."""
     d = diameter_bound if diameter_bound is not None else nx.diameter(graph)
@@ -664,6 +700,7 @@ def run_gkp_mst(
         bandwidth=bandwidth,
         seed=seed,
         inputs=inputs,
+        engine=engine,
     )
     result = network.run(max_rounds=max_rounds)
     return collect_tree_edges(result.outputs), result

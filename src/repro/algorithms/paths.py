@@ -49,6 +49,9 @@ class BellmanFordProgram(NodeProgram):
             node.broadcast(("dist", self.distance), bits=72)
         node.output = (self.distance, self.parent)
 
+    def next_active_round(self, node: Node, after_round: int) -> int | None:
+        return None  # relaxation is purely delivery-driven
+
 
 def run_bellman_ford(
     graph: nx.Graph,
@@ -57,11 +60,17 @@ def run_bellman_ford(
     weighted: bool = True,
     seed: int | None = 0,
     max_rounds: int = 100_000,
+    engine: str = "event",
 ) -> tuple[dict[Hashable, float], RunResult]:
     """Run distributed Bellman-Ford; returns ({node: distance}, metrics)."""
     inputs = {node: {"is_source": node == source} for node in graph.nodes()}
     network = CongestNetwork(
-        graph, lambda: BellmanFordProgram(weighted=weighted), bandwidth=bandwidth, seed=seed, inputs=inputs
+        graph,
+        lambda: BellmanFordProgram(weighted=weighted),
+        bandwidth=bandwidth,
+        seed=seed,
+        inputs=inputs,
+        engine=engine,
     )
     result = network.run(max_rounds=max_rounds, stop_on_quiescence=True)
     distances = {node: out[0] for node, out in result.outputs.items()}
@@ -69,10 +78,14 @@ def run_bellman_ford(
 
 
 def run_bfs_distances(
-    graph: nx.Graph, source: Hashable, bandwidth: int = 128, seed: int | None = 0
+    graph: nx.Graph,
+    source: Hashable,
+    bandwidth: int = 128,
+    seed: int | None = 0,
+    engine: str = "event",
 ) -> tuple[dict[Hashable, float], RunResult]:
     """Unweighted distances (BFS layering) via the same relaxation program."""
-    return run_bellman_ford(graph, source, bandwidth=bandwidth, weighted=False, seed=seed)
+    return run_bellman_ford(graph, source, bandwidth=bandwidth, weighted=False, seed=seed, engine=engine)
 
 
 def shortest_path_tree_edges(result: RunResult) -> set[frozenset]:

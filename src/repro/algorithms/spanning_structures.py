@@ -132,7 +132,7 @@ def forest_weight(graph: nx.Graph, edges: set[frozenset], weight: str = "weight"
 
 
 def run_shallow_light_tree(
-    graph: nx.Graph, root: Hashable, alpha: float = 2.0, bandwidth: int = 128
+    graph: nx.Graph, root: Hashable, alpha: float = 2.0, bandwidth: int = 128, engine: str = "event"
 ) -> tuple[dict, RunResult]:
     """Distributed shallow-light tree via pipelined centralisation; returns
     summary metrics (radius/weight vs the SPT/MST baselines) and the run."""
@@ -149,21 +149,23 @@ def run_shallow_light_tree(
             "spt_radius": spt_radius,
         }
 
-    return run_centralised(graph, solver, bandwidth=bandwidth)
+    return run_centralised(graph, solver, bandwidth=bandwidth, engine=engine)
 
 
-def run_min_routing_cost_tree(graph: nx.Graph, bandwidth: int = 128) -> tuple[float, RunResult]:
+def run_min_routing_cost_tree(
+    graph: nx.Graph, bandwidth: int = 128, engine: str = "event"
+) -> tuple[float, RunResult]:
     """Distributed 2-approximate minimum routing cost spanning tree."""
 
     def solver(g: nx.Graph) -> float:
         _, cost = min_routing_cost_tree_2approx(g)
         return cost
 
-    return run_centralised(graph, solver, bandwidth=bandwidth)
+    return run_centralised(graph, solver, bandwidth=bandwidth, engine=engine)
 
 
 def run_steiner_forest(
-    graph: nx.Graph, groups: Sequence[Sequence[Hashable]], bandwidth: int = 128
+    graph: nx.Graph, groups: Sequence[Sequence[Hashable]], bandwidth: int = 128, engine: str = "event"
 ) -> tuple[float, RunResult]:
     """Distributed 2-approximate generalized Steiner forest (weight output)."""
 
@@ -172,11 +174,11 @@ def run_steiner_forest(
         edges = steiner_forest_2approx(g, repr_groups)
         return forest_weight(g, edges)
 
-    return run_centralised(graph, solver, bandwidth=bandwidth)
+    return run_centralised(graph, solver, bandwidth=bandwidth, engine=engine)
 
 
 def run_shortest_st_path(
-    graph: nx.Graph, s: Hashable, t: Hashable, bandwidth: int = 128
+    graph: nx.Graph, s: Hashable, t: Hashable, bandwidth: int = 128, engine: str = "event"
 ) -> tuple[float, RunResult]:
     """Distributed shortest s-t path length (via centralisation; the
     Bellman-Ford program in :mod:`repro.algorithms.paths` is the native
@@ -185,4 +187,4 @@ def run_shortest_st_path(
     def solver(g: nx.Graph) -> float:
         return float(nx.dijkstra_path_length(g, repr(s), repr(t)))
 
-    return run_centralised(graph, solver, bandwidth=bandwidth)
+    return run_centralised(graph, solver, bandwidth=bandwidth, engine=engine)

@@ -118,6 +118,12 @@ class SubgraphFloodPhase(Phase):
     def on_exit(self, node: Node, shared: dict) -> None:
         shared["flood_degree"] = len(shared.pop("_flood_edges"))
 
+    def idle_until(self, node: Node, round_in_phase: int, shared: dict) -> int | None:
+        # Delivery-driven flooding, except the spontaneous (label, parity)
+        # exchange at round n+1.
+        n = node.n_nodes
+        return n + 1 if round_in_phase < n + 1 else None
+
 
 def _statistics(node: Node, shared: dict) -> tuple:
     """Per-node contribution to the aggregate statistics tuple."""
@@ -316,6 +322,7 @@ def run_verification(
     m_edges: list[tuple[Hashable, Hashable]],
     bandwidth: int = 64,
     seed: int | None = 0,
+    engine: str = "event",
     **input_kwargs: Any,
 ) -> tuple[bool, RunResult]:
     """Run a named verifier; returns (verdict, run metrics)."""
@@ -335,6 +342,7 @@ def run_verification(
         bandwidth=bandwidth,
         seed=seed,
         inputs=inputs,
+        engine=engine,
     )
     result = network.run()
     answer = bool(result.unanimous_output())
@@ -352,6 +360,7 @@ def run_gkp_components(
     bandwidth: int = 64,
     diameter_bound: int | None = None,
     seed: int | None = 0,
+    engine: str = "event",
 ) -> tuple[int, RunResult]:
     """Component count of ``M`` via the Kutten-Peleg machinery.
 
@@ -378,6 +387,7 @@ def run_gkp_components(
         bandwidth=bandwidth,
         seed=seed,
         inputs=inputs,
+        engine=engine,
     )
     result = network.run(max_rounds=500_000)
     labels = {repr(out["label"]) for out in result.outputs.values()}
@@ -411,6 +421,9 @@ class _DistanceFloodPhase(Phase):
         if improved:
             node.broadcast(("d", shared["dist_u"]))
 
+    def idle_until(self, node: Node, round_in_phase: int, shared: dict) -> int | None:
+        return None  # relaxation is delivery-driven
+
 
 def run_le_list_verification(
     graph: nx.Graph,
@@ -420,6 +433,7 @@ def run_le_list_verification(
     bandwidth: int = 128,
     diameter_bound: int | None = None,
     seed: int | None = 0,
+    engine: str = "event",
 ) -> tuple[bool, RunResult]:
     """Verify a least-element list (Appendix A.2).
 
@@ -478,6 +492,8 @@ def run_le_list_verification(
             ]
         )
 
-    network = CongestNetwork(graph, factory, bandwidth=bandwidth, seed=seed, inputs=inputs)
+    network = CongestNetwork(
+        graph, factory, bandwidth=bandwidth, seed=seed, inputs=inputs, engine=engine
+    )
     result = network.run(max_rounds=500_000)
     return bool(result.unanimous_output()), result

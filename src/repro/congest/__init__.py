@@ -5,26 +5,40 @@ at most ``B`` bits (or qubits) per round.  Local computation is free and
 unbounded, exactly as in the model; the simulator's job is honest accounting
 of rounds, messages and bits.
 
-- :mod:`repro.congest.message`  -- payload bit-size accounting.
-- :mod:`repro.congest.node`     -- node handles and the program interface.
-- :mod:`repro.congest.network`  -- the round scheduler and bandwidth model.
-- :mod:`repro.congest.topology` -- network families, including the
+- :mod:`repro.congest.message`   -- payload bit-size accounting.
+- :mod:`repro.congest.node`      -- node handles and the program interface
+  (including the idleness hints the event engine exploits).
+- :mod:`repro.congest.transport` -- link buffers, chunking, strict-mode
+  checks and bit metrics.
+- :mod:`repro.congest.engine`    -- pluggable schedulers: the reference
+  ``DenseEngine`` and the event-driven ``EventEngine`` fast path.
+- :mod:`repro.congest.network`   -- the ``CongestNetwork`` façade tying the
+  layers together.
+- :mod:`repro.congest.topology`  -- network families, including the
   Simulation-Theorem network of Figs. 8/10/13.
 """
 
+from repro.congest.engine import DenseEngine, Engine, EventEngine, get_engine
 from repro.congest.message import QubitPayload, Received, bit_size
-from repro.congest.network import BandwidthExceeded, CongestNetwork, RunResult
+from repro.congest.network import BandwidthExceeded, CongestNetwork, RunResult, run_program
 from repro.congest.node import Node, NodeProgram
 from repro.congest.topology import (
     dumbbell_graph,
     simulation_network,
     simulation_network_parameters,
 )
+from repro.congest.transport import LinkTransport
 
 __all__ = [
     "CongestNetwork",
     "RunResult",
     "BandwidthExceeded",
+    "Engine",
+    "DenseEngine",
+    "EventEngine",
+    "get_engine",
+    "LinkTransport",
+    "run_program",
     "Node",
     "NodeProgram",
     "Received",

@@ -1,0 +1,241 @@
+"""The scheduler layer: pluggable round engines over the transport.
+
+The middle of the three-layer CONGEST stack.  An :class:`Engine` decides
+*which* nodes are stepped *when*; the transport (bit accounting) below and
+the program API (algorithm logic) above are engine-agnostic, so both
+engines produce the same :class:`RunResult` for the same program:
+
+- :class:`DenseEngine` -- the reference semantics: every non-halted node is
+  stepped every round.  Cost grows with ``n x rounds`` even when almost
+  every node is idle.
+- :class:`EventEngine` -- maintains an active-node set and steps a node
+  only if it has deliveries this round or its program declared the round
+  non-idle (via :meth:`repro.congest.node.NodeProgram.next_active_round`).
+  Rounds in which nothing happens are skipped in O(1) by jumping the clock
+  to the next delivery or program wake-up, with the transport accounting
+  the skipped stretch exactly.
+
+Equivalence contract: a program's idleness hint must only skip rounds whose
+``on_round`` call would have been a no-op (no sends, no halting, no change
+to future behaviour) -- the default hint claims no idle rounds, so arbitrary
+programs run identically on both engines, and hinted programs are covered
+by the cross-engine equivalence suite (``tests/test_engine_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Hashable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.congest.network import CongestNetwork
+
+
+@dataclass
+class RunResult:
+    """Metrics of one distributed execution."""
+
+    rounds: int
+    total_messages: int
+    total_bits: int
+    outputs: dict[Hashable, Any]
+    halted: bool
+    max_edge_bits_per_round: int = 0
+    per_round_bits: list[int] = field(default_factory=list)
+
+    def output_values(self) -> set:
+        return set(self.outputs.values())
+
+    def unanimous_output(self) -> Any:
+        """The common output of all nodes; raises if nodes disagree."""
+        values = {repr(v) for v in self.outputs.values()}
+        if len(values) != 1:
+            raise ValueError(f"nodes disagree: {sorted(values)[:5]}")
+        return next(iter(self.outputs.values()))
+
+
+class Engine:
+    """Steps node programs against the transport clock."""
+
+    name = "abstract"
+
+    def run(self, network: "CongestNetwork", max_rounds: int, stop_on_quiescence: bool) -> RunResult:
+        raise NotImplementedError
+
+    @staticmethod
+    def _result(network: "CongestNetwork", rounds: int) -> RunResult:
+        transport = network.transport
+        return RunResult(
+            rounds=rounds,
+            total_messages=transport.total_messages,
+            total_bits=transport.total_bits,
+            outputs={nid: node.output for nid, node in network.nodes.items()},
+            halted=all(node.halted for node in network.nodes.values()),
+            max_edge_bits_per_round=transport.max_edge_bits_per_round,
+            per_round_bits=transport.per_round_bits,
+        )
+
+    @staticmethod
+    def _start(network: "CongestNetwork") -> None:
+        for node_id, program in network.programs.items():
+            program.on_start(network.nodes[node_id])
+        network.transport.flush()
+
+
+class DenseEngine(Engine):
+    """The reference scheduler: every non-halted node steps every round."""
+
+    name = "dense"
+
+    def run(self, network: "CongestNetwork", max_rounds: int, stop_on_quiescence: bool) -> RunResult:
+        transport = network.transport
+        self._start(network)
+
+        round_no = 0
+        while round_no < max_rounds:
+            if all(node.halted for node in network.nodes.values()):
+                break
+            if (
+                stop_on_quiescence
+                and round_no > 0
+                and transport.per_round_bits
+                and transport.per_round_bits[-1] == 0
+                and transport.pending_traffic() == 0
+                and not transport.has_outgoing()
+            ):
+                round_no -= 1  # the silent probe round does not count
+                break
+            round_no += 1
+            network.current_round = round_no
+            inboxes = transport.deliver_round()
+            for node_id in network.nodes:
+                node = network.nodes[node_id]
+                if node.halted:
+                    continue
+                network.programs[node_id].on_round(node, round_no, inboxes.get(node_id, []))
+            transport.flush()
+
+        return self._result(network, round_no)
+
+
+class EventEngine(Engine):
+    """Active-set scheduler with an O(1) fast path over quiet rounds.
+
+    A round is *interesting* if a message completes on some link or some
+    program scheduled a wake-up for it.  The engine jumps the clock from
+    one interesting round to the next (the transport accounts the skipped
+    stretch), delivers, and steps -- in the network's canonical node order,
+    so interleavings match the dense engine exactly -- only the nodes that
+    received something or asked to be woken.
+
+    ``node_steps`` counts ``on_round`` calls for introspection; on mostly
+    quiet workloads it is far below the dense engine's ``n x rounds``.
+    """
+
+    name = "event"
+
+    def __init__(self) -> None:
+        self.node_steps = 0
+
+    def run(self, network: "CongestNetwork", max_rounds: int, stop_on_quiescence: bool) -> RunResult:
+        transport = network.transport
+        self._start(network)
+
+        order = {nid: i for i, nid in enumerate(network.nodes)}
+        wake: dict[Hashable, int | None] = {}
+        heap: list[tuple[int, int, Hashable]] = []
+
+        def schedule(nid: Hashable, after_round: int) -> None:
+            node = network.nodes[nid]
+            if node.halted:
+                wake[nid] = None
+                return
+            nxt = network.programs[nid].next_active_round(node, after_round)
+            if nxt is not None and nxt <= after_round:  # defensive: never stall the clock
+                nxt = after_round + 1
+            wake[nid] = nxt
+            if nxt is not None:
+                heapq.heappush(heap, (nxt, order[nid], nid))
+
+        for nid in network.nodes:
+            schedule(nid, 0)
+        live = sum(1 for node in network.nodes.values() if not node.halted)
+
+        round_no = 0
+        while round_no < max_rounds:
+            if live == 0:
+                break
+            if (
+                stop_on_quiescence
+                and round_no > 0
+                and transport.per_round_bits
+                and transport.per_round_bits[-1] == 0
+                and transport.pending_traffic() == 0
+                and not transport.has_outgoing()
+            ):
+                round_no -= 1  # the silent probe round does not count
+                break
+
+            # Next interesting round: earliest delivery or program wake-up.
+            until = transport.rounds_until_delivery()
+            delivery_round = None if until is None else round_no + until
+            while heap and (wake.get(heap[0][2]) != heap[0][0] or network.nodes[heap[0][2]].halted):
+                heapq.heappop(heap)
+            program_round = heap[0][0] if heap else None
+
+            if stop_on_quiescence and transport.pending_traffic() == 0:
+                # The dense engine probes the very next round and stops on
+                # silence; jumping over it would skip that termination point.
+                target = round_no + 1
+            elif delivery_round is None and program_round is None:
+                # Nothing will ever happen again: idle out the clock.
+                transport.skip_rounds(max_rounds - round_no)
+                round_no = max_rounds
+                break
+            else:
+                candidates = [r for r in (delivery_round, program_round) if r is not None]
+                target = min(candidates)
+
+            if target > max_rounds:
+                transport.skip_rounds(max_rounds - round_no)
+                round_no = max_rounds
+                break
+            if target > round_no + 1:
+                transport.skip_rounds(target - round_no - 1)
+            round_no = target
+            network.current_round = round_no
+
+            inboxes = transport.deliver_round()
+            step = set(inboxes)
+            while heap and heap[0][0] <= round_no:
+                rnd, _, nid = heapq.heappop(heap)
+                if rnd == round_no and wake.get(nid) == rnd and not network.nodes[nid].halted:
+                    step.add(nid)
+            for nid in sorted(step, key=order.__getitem__):
+                node = network.nodes[nid]
+                if node.halted:
+                    continue
+                self.node_steps += 1
+                network.programs[nid].on_round(node, round_no, inboxes.get(nid, []))
+                if node.halted:
+                    live -= 1
+                    wake[nid] = None
+                else:
+                    schedule(nid, round_no)
+            transport.flush()
+
+        return self._result(network, round_no)
+
+
+_ENGINES = {"dense": DenseEngine, "event": EventEngine}
+
+
+def get_engine(spec: str | Engine) -> Engine:
+    """Resolve an engine spec: an :class:`Engine` instance or a name."""
+    if isinstance(spec, Engine):
+        return spec
+    try:
+        return _ENGINES[spec]()
+    except KeyError:
+        raise ValueError(f"unknown engine {spec!r}; known: {sorted(_ENGINES)}") from None

@@ -1,4 +1,4 @@
-"""The synchronous round scheduler and bandwidth model.
+"""The CONGEST(B) network façade over the layered engine stack.
 
 Execution model (Appendix A.1): all nodes wake simultaneously; in each round
 every node may place at most ``B`` bits on each incident directed edge;
@@ -9,46 +9,37 @@ transmitted over ``ceil(bits/B)`` consecutive rounds, arriving atomically --
 this models the standard pipelining argument and keeps round counts honest.
 In ``strict`` mode oversized sends raise instead, for algorithms that want to
 certify they never exceed the per-round budget.
+
+The implementation is split into three layers (see each module's docstring):
+
+- :mod:`repro.congest.transport` -- per-edge bit accounting, chunking,
+  strict-mode checks, metrics (:class:`LinkTransport`);
+- :mod:`repro.congest.engine` -- pluggable round schedulers: the reference
+  :class:`~repro.congest.engine.DenseEngine` (every node, every round) and
+  the default :class:`~repro.congest.engine.EventEngine` (active-node set,
+  O(1) skips over quiet rounds);
+- :mod:`repro.congest.node` -- the program API, including the idleness
+  hints (``next_active_round`` / phase-level ``idle_until``) the event
+  engine exploits.
+
+:class:`CongestNetwork` wires the three together; pick the engine with the
+``engine="event"|"dense"`` kwarg.  Both produce identical
+:class:`RunResult`\\ s for the same program -- ``dense`` is the reference to
+cross-check against, ``event`` the fast default.
 """
 
 from __future__ import annotations
 
 import random
-from collections import defaultdict, deque
-from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable
 
 import networkx as nx
 
-from repro.congest.message import Received, _InFlight
+from repro.congest.engine import Engine, RunResult, get_engine
 from repro.congest.node import Node, NodeProgram
+from repro.congest.transport import BandwidthExceeded, LinkTransport
 
-
-class BandwidthExceeded(RuntimeError):
-    """Raised in strict mode when a round's traffic on an edge exceeds B."""
-
-
-@dataclass
-class RunResult:
-    """Metrics of one distributed execution."""
-
-    rounds: int
-    total_messages: int
-    total_bits: int
-    outputs: dict[Hashable, Any]
-    halted: bool
-    max_edge_bits_per_round: int = 0
-    per_round_bits: list[int] = field(default_factory=list)
-
-    def output_values(self) -> set:
-        return set(self.outputs.values())
-
-    def unanimous_output(self) -> Any:
-        """The common output of all nodes; raises if nodes disagree."""
-        values = {repr(v) for v in self.outputs.values()}
-        if len(values) != 1:
-            raise ValueError(f"nodes disagree: {sorted(values)[:5]}")
-        return next(iter(self.outputs.values()))
+__all__ = ["BandwidthExceeded", "CongestNetwork", "RunResult", "run_program"]
 
 
 class CongestNetwork:
@@ -63,6 +54,8 @@ class CongestNetwork:
         seed: int | None = None,
         inputs: dict[Hashable, Any] | None = None,
         weight: str = "weight",
+        engine: str | Engine = "event",
+        record_messages: bool = False,
     ):
         if graph.number_of_nodes() == 0:
             raise ValueError("network must have at least one node")
@@ -74,6 +67,8 @@ class CongestNetwork:
         self.weight_key = weight
         self._rng = random.Random(seed)
         self.n_nodes = graph.number_of_nodes()
+        self.transport = LinkTransport(bandwidth, strict=strict, record_messages=record_messages)
+        self.engine = get_engine(engine)
 
         self.nodes: dict[Hashable, Node] = {}
         self.programs: dict[Hashable, NodeProgram] = {}
@@ -85,33 +80,43 @@ class CongestNetwork:
             self.nodes[node_id] = node
             self.programs[node_id] = program_factory()
 
-        # Per directed edge: FIFO of in-flight messages.
-        self._links: dict[tuple[Hashable, Hashable], deque[_InFlight]] = defaultdict(deque)
-        # Messages queued by sends during the current round.
-        self._outgoing: list[_InFlight] = []
-        self.total_messages = 0
-        self.total_bits = 0
-        self.max_edge_bits_per_round = 0
-        self.per_round_bits: list[int] = []
-        #: (round_sent, sender, receiver, bits) for every message.
-        self.message_log: list[tuple[int, Hashable, Hashable, int]] = []
         self.current_round = 0
 
     def edge_weight(self, u: Hashable, v: Hashable) -> float:
         return self.graph.edges[u, v].get(self.weight_key, 1.0)
 
+    # -- metrics (owned by the transport) --------------------------------------
+
+    @property
+    def total_messages(self) -> int:
+        return self.transport.total_messages
+
+    @property
+    def total_bits(self) -> int:
+        return self.transport.total_bits
+
+    @property
+    def max_edge_bits_per_round(self) -> int:
+        return self.transport.max_edge_bits_per_round
+
+    @property
+    def per_round_bits(self) -> list[int]:
+        return self.transport.per_round_bits
+
+    @property
+    def message_log(self) -> list[tuple[int, Hashable, Hashable, int]]:
+        """(round_sent, sender, receiver, bits) per message; requires
+        ``record_messages=True`` (off by default -- it grows unboundedly)."""
+        return self.transport.message_log
+
+    @property
+    def record_messages(self) -> bool:
+        return self.transport.record_messages
+
     # -- plumbing used by Node.send ------------------------------------------
 
     def _enqueue(self, sender: Hashable, receiver: Hashable, payload: Any, bits: int) -> None:
-        if self.strict and bits > self.bandwidth:
-            raise BandwidthExceeded(
-                f"message of {bits} bits exceeds B={self.bandwidth} on edge "
-                f"{sender!r}->{receiver!r}"
-            )
-        self._outgoing.append(_InFlight(sender, receiver, payload, bits, bits))
-        self.total_messages += 1
-        self.total_bits += bits
-        self.message_log.append((self.current_round, sender, receiver, bits))
+        self.transport.enqueue(sender, receiver, payload, bits, self.current_round)
 
     # -- execution -------------------------------------------------------------
 
@@ -123,92 +128,11 @@ class CongestNetwork:
         termination model for self-stabilising programs (e.g. Bellman-Ford)
         whose nodes cannot detect termination locally.
         """
-        for node_id, program in self.programs.items():
-            program.on_start(self.nodes[node_id])
-        self._flush_outgoing()
-
-        round_no = 0
-        while round_no < max_rounds:
-            if all(node.halted for node in self.nodes.values()):
-                break
-            if (
-                stop_on_quiescence
-                and round_no > 0
-                and self.per_round_bits
-                and self.per_round_bits[-1] == 0
-                and self.pending_traffic() == 0
-                and not self._outgoing
-            ):
-                round_no -= 1  # the silent probe round does not count
-                break
-            round_no += 1
-            self.current_round = round_no
-            inboxes = self._advance_links()
-            for node_id in self.nodes:
-                node = self.nodes[node_id]
-                if node.halted:
-                    continue
-                self.programs[node_id].on_round(node, round_no, inboxes.get(node_id, []))
-            self._flush_outgoing()
-
-        halted = all(node.halted for node in self.nodes.values())
-        return RunResult(
-            rounds=round_no,
-            total_messages=self.total_messages,
-            total_bits=self.total_bits,
-            outputs={nid: node.output for nid, node in self.nodes.items()},
-            halted=halted,
-            max_edge_bits_per_round=self.max_edge_bits_per_round,
-            per_round_bits=self.per_round_bits,
-        )
-
-    def _flush_outgoing(self) -> None:
-        if self.strict:
-            per_edge: dict[tuple[Hashable, Hashable], int] = defaultdict(int)
-            for msg in self._outgoing:
-                per_edge[(msg.sender, msg.receiver)] += msg.bits
-            for (u, v), bits in per_edge.items():
-                if bits > self.bandwidth:
-                    raise BandwidthExceeded(
-                        f"{bits} bits queued on edge {u!r}->{v!r} in one round "
-                        f"(B={self.bandwidth})"
-                    )
-        for msg in self._outgoing:
-            self._links[(msg.sender, msg.receiver)].append(msg)
-        self._outgoing = []
-
-    def _advance_links(self) -> dict[Hashable, list[Received]]:
-        """Move B bits along every directed edge; collect completed messages."""
-        inboxes: dict[Hashable, list[Received]] = defaultdict(list)
-        round_bits = 0
-        drained: list[tuple[Hashable, Hashable]] = []
-        for (sender, receiver), queue in self._links.items():
-            budget = self.bandwidth
-            while queue and budget > 0:
-                msg = queue[0]
-                moved = min(budget, msg.remaining)
-                msg.remaining -= moved
-                budget -= moved
-                round_bits += moved
-                if msg.remaining == 0:
-                    queue.popleft()
-                    inboxes[receiver].append(Received(sender, msg.payload, msg.bits))
-            used = self.bandwidth - budget
-            if used > self.max_edge_bits_per_round:
-                self.max_edge_bits_per_round = used
-            if not queue:
-                drained.append((sender, receiver))
-        # Drop drained queues so quiet links cost nothing: without this, a
-        # long run pays O(every directed edge ever used) per round even
-        # after all traffic has ceased.
-        for key in drained:
-            del self._links[key]
-        self.per_round_bits.append(round_bits)
-        return inboxes
+        return self.engine.run(self, max_rounds=max_rounds, stop_on_quiescence=stop_on_quiescence)
 
     def pending_traffic(self) -> int:
         """Bits still in flight (useful for quiescence assertions in tests)."""
-        return sum(msg.remaining for queue in self._links.values() for msg in queue)
+        return self.transport.pending_traffic()
 
 
 def run_program(
@@ -219,6 +143,8 @@ def run_program(
     seed: int | None = None,
     max_rounds: int = 100_000,
     strict: bool = False,
+    engine: str | Engine = "event",
+    record_messages: bool = False,
 ) -> RunResult:
     """Convenience wrapper: build a network, run it, return the result."""
     network = CongestNetwork(
@@ -228,5 +154,7 @@ def run_program(
         strict=strict,
         seed=seed,
         inputs=inputs,
+        engine=engine,
+        record_messages=record_messages,
     )
     return network.run(max_rounds=max_rounds)

@@ -94,6 +94,15 @@ class NodeProgram:
     One instance is created per node; instance attributes are the node's
     local state.  Override :meth:`on_start` (runs before round 1; may send)
     and :meth:`on_round` (runs every round with that round's inbox).
+
+    **Idleness hints.**  The event-driven engine steps a node only when a
+    message arrives or the program declares a round non-idle.  Programs with
+    silent stretches advertise them by overriding :meth:`next_active_round`
+    (and get :meth:`wants_round` for free).  The contract: for every round
+    the hint skips, ``on_round`` with an empty inbox must be a no-op -- no
+    sends, no halting, no change that affects future behaviour.  The default
+    (every round is active) makes unhinted programs run identically on both
+    engines.
     """
 
     def on_start(self, node: Node) -> None:  # pragma: no cover - default no-op
@@ -101,3 +110,17 @@ class NodeProgram:
 
     def on_round(self, node: Node, round_no: int, inbox: list[Received]) -> None:
         raise NotImplementedError
+
+    def next_active_round(self, node: Node, after_round: int) -> int | None:
+        """Earliest round after ``after_round`` needing a step without a
+        delivery; ``None`` means the program only reacts to messages (and to
+        the hints it re-declares each time it is stepped)."""
+        return after_round + 1
+
+    def wants_round(self, node: Node, round_no: int) -> bool:
+        """Whether ``round_no`` must be stepped even with an empty inbox.
+
+        Derived from :meth:`next_active_round`; override that instead.
+        """
+        nxt = self.next_active_round(node, round_no - 1)
+        return nxt is not None and nxt <= round_no

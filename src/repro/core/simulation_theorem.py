@@ -192,6 +192,8 @@ class SimulationTheoremNetwork:
             bandwidth=bandwidth,
             seed=seed,
             inputs=inputs,
+            # The ownership replay below needs the full per-message trace.
+            record_messages=True,
         )
         run = network.run(max_rounds=budget)
         if enforce_horizon and run.rounds > horizon:

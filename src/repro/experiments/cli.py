@@ -42,6 +42,18 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--replicates", type=int, default=1, help="seeded replicates per grid point")
     run.add_argument("--base-seed", type=int, default=0, help="base seed for per-point derivation")
     run.add_argument("--timeout", type=float, default=None, help="per-task timeout in seconds")
+    run.add_argument(
+        "--mp-start",
+        choices=("spawn", "fork", "forkserver"),
+        default="spawn",
+        help="multiprocessing start method for the worker pool",
+    )
+    run.add_argument(
+        "--maxtasksperchild",
+        type=int,
+        default=16,
+        help="recycle each worker after this many tasks (0 = never)",
+    )
     run.add_argument("--store", default=str(DEFAULT_STORE), help="result-store directory")
     run.add_argument("--no-store", action="store_true", help="run without persisting results")
     run.add_argument("--force", action="store_true", help="ignore cached records and re-run")
@@ -81,6 +93,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         task_timeout=args.timeout,
         force=args.force,
         progress=print,
+        mp_start_method=args.mp_start,
+        maxtasksperchild=args.maxtasksperchild or None,
     )
     print(
         f"done: {report.cached} cached, {report.executed} executed, {report.failed} failed"

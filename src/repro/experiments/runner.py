@@ -6,6 +6,14 @@ the scenario modules, so only names and plain params cross the pipe),
 captures failures as records instead of crashing the sweep, enforces a
 per-task timeout, and returns records in deterministic grid order
 regardless of completion order.
+
+Pool hygiene: workers come from an explicit ``spawn`` context by default
+(no fork-inherited state; scenario modules are shipped by name and
+re-imported, so registrations survive the spawn) and are recycled after
+``maxtasksperchild`` tasks, so long sweeps cannot accumulate per-worker
+state or leak memory.  Futures are collected as they complete -- not in
+grid order -- so one slow point never delays timeout detection for the
+points behind it; records are reordered into grid order at the end.
 """
 
 from __future__ import annotations
@@ -15,6 +23,9 @@ import time
 import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable
+
+#: How often the collector polls outstanding futures, in seconds.
+_POLL_INTERVAL = 0.02
 
 import repro
 from repro.experiments.registry import (
@@ -78,6 +89,8 @@ def run_sweep(
     force: bool = False,
     scenario_modules: tuple[str, ...] = (),
     progress: Callable[[str], None] | None = None,
+    mp_start_method: str = "spawn",
+    maxtasksperchild: int | None = 16,
 ) -> SweepReport:
     """Run a sweep; returns records in the order of ``points``.
 
@@ -86,12 +99,18 @@ def run_sweep(
     whose cache key already has a record are served from cache unless
     ``force``; fresh records are persisted as they complete.
 
-    ``task_timeout`` bounds the *additional* wall-clock wait per point:
-    the runner collects results in grid order, so waiting on point k
-    also buys running time for every point behind it in the queue.
-    Setting it forces pool execution even with ``workers=1`` (a timeout
-    cannot be enforced on in-process execution), and a pool with a hung
-    worker is terminated rather than joined, so ``run_sweep`` returns.
+    ``task_timeout`` bounds the wall-clock runtime per point, measured
+    from when a worker slot becomes available for it (completed futures
+    are collected out of grid order, so a slow point in front never
+    delays timeout detection for the points behind it).  Setting it
+    forces pool execution even with ``workers=1`` (a timeout cannot be
+    enforced on in-process execution), and a pool with a hung worker is
+    terminated rather than joined, so ``run_sweep`` returns.
+
+    ``mp_start_method`` picks the multiprocessing context (``spawn`` by
+    default: clean workers, no fork-inherited state) and
+    ``maxtasksperchild`` recycles workers so long sweeps cannot
+    accumulate per-worker state.
     """
     if not points:
         raise ValueError("empty sweep")
@@ -165,7 +184,9 @@ def run_sweep(
                 _execute_point(point.scenario, point.params, point.seed, scenario_modules),
             )
     else:
-        pool = multiprocessing.get_context().Pool(processes=min(max(workers, 1), len(pending)))
+        n_workers = min(max(workers, 1), len(pending))
+        ctx = multiprocessing.get_context(mp_start_method)
+        pool = ctx.Pool(processes=n_workers, maxtasksperchild=maxtasksperchild)
         timed_out = False
         try:
             asyncs = {
@@ -175,25 +196,61 @@ def run_sweep(
                 )
                 for point in pending
             }
-            for point in pending:
-                try:
-                    outcome = asyncs[point.index].get(timeout=task_timeout)
-                except multiprocessing.TimeoutError:
-                    timed_out = True
-                    outcome = {
-                        "status": "timeout",
-                        "error": f"task exceeded {task_timeout}s",
-                        "duration_s": float(task_timeout or 0.0),
-                    }
-                except Exception:
-                    # Worker crashed (e.g. killed mid-task): capture, don't
-                    # lose the rest of the sweep's bookkeeping.
-                    outcome = {
-                        "status": "error",
-                        "error": traceback.format_exc(),
-                        "duration_s": 0.0,
-                    }
-                finish(point, outcome)
+            remaining = {point.index: point for point in pending}
+            # Per-task deadlines approximate "timeout from actual start":
+            # at most n_workers tasks hold a deadline at once; a new one is
+            # armed (in grid order) whenever a slot resolves.
+            deadlines: dict[int, float] = {}
+
+            def rearm_deadlines() -> None:
+                if task_timeout is None:
+                    return
+                armed = sum(1 for idx in deadlines if idx in remaining)
+                for point in pending:
+                    if armed >= n_workers:
+                        break
+                    if point.index in remaining and point.index not in deadlines:
+                        deadlines[point.index] = time.monotonic() + task_timeout
+                        armed += 1
+
+            rearm_deadlines()
+            while remaining:
+                progressed = False
+                for idx in list(remaining):
+                    if not asyncs[idx].ready():
+                        continue
+                    point = remaining.pop(idx)
+                    try:
+                        outcome = asyncs[idx].get()
+                    except Exception:
+                        # Worker crashed (e.g. killed mid-task): capture,
+                        # don't lose the rest of the sweep's bookkeeping.
+                        outcome = {
+                            "status": "error",
+                            "error": traceback.format_exc(),
+                            "duration_s": 0.0,
+                        }
+                    finish(point, outcome)
+                    progressed = True
+                if task_timeout is not None:
+                    now = time.monotonic()
+                    for idx in list(remaining):
+                        if idx in deadlines and now > deadlines[idx]:
+                            timed_out = True
+                            point = remaining.pop(idx)
+                            finish(
+                                point,
+                                {
+                                    "status": "timeout",
+                                    "error": f"task exceeded {task_timeout}s",
+                                    "duration_s": float(task_timeout),
+                                },
+                            )
+                            progressed = True
+                if progressed:
+                    rearm_deadlines()
+                elif remaining:
+                    time.sleep(_POLL_INTERVAL)
         finally:
             if timed_out:
                 # A hung worker would make close()+join() block forever.

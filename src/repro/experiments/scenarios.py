@@ -20,14 +20,22 @@ from repro.algorithms.disjointness import (
 from repro.algorithms.elkin import run_elkin_approx_mst
 from repro.algorithms.mst import run_gkp_mst, tree_weight
 from repro.algorithms.verification import run_verification
+from repro.congest.node import Node, NodeProgram
 from repro.congest.topology import dumbbell_graph
 from repro.core.bounds import fig2_table, fig3_curve
 from repro.core.fooling import gap_equality_lower_bound
+from repro.core.gadgets import (
+    gap_eq_mismatch_count,
+    gap_eq_to_ham,
+    ipmod3_to_ham,
+    ipmod3_value,
+)
 from repro.core.gamma2 import gamma2_dual
 from repro.core.nonlocal_games import chsh_game
 from repro.core.server_model import StructuredServerProtocol, two_party_simulation_of_server
+from repro.core.simulation_theorem import SimulationTheoremNetwork
 from repro.experiments.registry import ParamSpec, scenario
-from repro.graphs.generators import random_connected_graph
+from repro.graphs.generators import matching_pair_for_cycles, random_connected_graph
 
 
 def _weighted_graph(n: int, extra_edge_prob: float, graph_seed: int, weight_seed: int) -> nx.Graph:
@@ -37,6 +45,22 @@ def _weighted_graph(n: int, extra_edge_prob: float, graph_seed: int, weight_seed
     weights = rng.sample(range(1, 10 * graph.number_of_edges() + 1), graph.number_of_edges())
     for (u, v), w in zip(graph.edges(), weights):
         graph.edges[u, v]["weight"] = float(w)
+    return graph
+
+
+def _fig3_graph(
+    seed: int, n: int, aspect_ratio: float, extra_edge_prob: float, graph_seed: int
+) -> nx.Graph:
+    """The Fig. 3 instance: fixed topology, seed-drawn weights in [1, W]."""
+    graph = random_connected_graph(n, extra_edge_prob=extra_edge_prob, seed=graph_seed)
+    rng = random.Random(seed)
+    w = aspect_ratio
+    for u, v in graph.edges():
+        graph.edges[u, v]["weight"] = rng.uniform(1.0, w) if w > 1 else 1.0
+    edges = list(graph.edges())
+    # Pin the extremes so the realised aspect ratio is exactly W.
+    graph.edges[edges[0]]["weight"] = 1.0
+    graph.edges[edges[-1]]["weight"] = float(w)
     return graph
 
 
@@ -64,15 +88,8 @@ def fig3_mst_tradeoff(
     extra_edge_prob: float,
     graph_seed: int,
 ) -> dict:
-    graph = random_connected_graph(n, extra_edge_prob=extra_edge_prob, seed=graph_seed)
-    rng = random.Random(seed)
     w = aspect_ratio
-    for u, v in graph.edges():
-        graph.edges[u, v]["weight"] = rng.uniform(1.0, w) if w > 1 else 1.0
-    edges = list(graph.edges())
-    # Pin the extremes so the realised aspect ratio is exactly W.
-    graph.edges[edges[0]]["weight"] = 1.0
-    graph.edges[edges[-1]]["weight"] = float(w)
+    graph = _fig3_graph(seed, n, aspect_ratio, extra_edge_prob, graph_seed)
 
     _, elkin = run_elkin_approx_mst(graph, alpha=alpha)
     _, gkp = run_gkp_mst(graph, bandwidth=bandwidth)
@@ -84,6 +101,58 @@ def fig3_mst_tradeoff(
         "combined_rounds": min(elkin.rounds, gkp.rounds),
         "formula_lower_bound": formula["lower_bound"],
         "formula_upper_bound": formula["upper_bound"],
+    }
+
+
+@scenario(
+    "fig3-engine-speedup",
+    description="Dense vs event CONGEST engine on one Fig. 3 grid point (wall-clock)",
+    params=[
+        ParamSpec("n", int, 60, "nodes in the live CONGEST network"),
+        ParamSpec("aspect_ratio", float, 8192.0, "weight aspect ratio W"),
+        ParamSpec("alpha", float, 2.0, "Elkin approximation factor"),
+        ParamSpec("bandwidth", int, 128, "CONGEST bandwidth B for the GKP run"),
+        ParamSpec("extra_edge_prob", float, 0.08, "extra-edge density of the random graph"),
+        ParamSpec("graph_seed", int, 17, "topology seed"),
+    ],
+    default_grid={},
+    tags=("congest", "engine", "perf"),
+)
+def fig3_engine_speedup(
+    *,
+    seed: int,
+    n: int,
+    aspect_ratio: float,
+    alpha: float,
+    bandwidth: int,
+    extra_edge_prob: float,
+    graph_seed: int,
+) -> dict:
+    """Run the same grid point on both engines; results must agree exactly."""
+    import time
+
+    graph = _fig3_graph(seed, n, aspect_ratio, extra_edge_prob, graph_seed)
+    timings: dict[str, float] = {}
+    runs: dict[str, tuple] = {}
+    for engine in ("dense", "event"):
+        start = time.perf_counter()
+        _, elkin = run_elkin_approx_mst(graph, alpha=alpha, engine=engine)
+        _, gkp = run_gkp_mst(graph, bandwidth=bandwidth, engine=engine)
+        timings[engine] = time.perf_counter() - start
+        runs[engine] = (elkin, gkp)
+    agree = all(
+        getattr(runs["dense"][i], f) == getattr(runs["event"][i], f)
+        for i in (0, 1)
+        for f in ("rounds", "total_bits", "total_messages", "halted")
+    )
+    return {
+        "W": aspect_ratio,
+        "elkin_rounds": runs["event"][0].rounds,
+        "gkp_rounds": runs["event"][1].rounds,
+        "dense_seconds": timings["dense"],
+        "event_seconds": timings["event"],
+        "speedup": timings["dense"] / max(timings["event"], 1e-9),
+        "engines_agree": agree,
     }
 
 
@@ -299,3 +368,183 @@ def gkp_cap_ablation(
         "reference_weight": reference,
         "exact": abs(weight - reference) < 1e-6,
     }
+
+
+class _ChatterProgram(NodeProgram):
+    """All-edges-every-round traffic for the full simulation horizon."""
+
+    def __init__(self, horizon: int):
+        self.horizon = horizon
+
+    def on_start(self, node: Node) -> None:
+        node.broadcast(("r", 0), bits=8)
+
+    def on_round(self, node: Node, round_no: int, inbox) -> None:
+        if round_no >= self.horizon:
+            node.halt()
+            return
+        node.broadcast(("r", round_no), bits=8)
+
+
+@scenario(
+    "simulation-theorem",
+    description="Theorem 3.5 measured: three-party simulation cost vs the 6kB/round budget",
+    params=[
+        ParamSpec("length", int, 17, "highway length L of N(Gamma, L)"),
+        ParamSpec("n_paths", int, 4, "Gamma: number of paths"),
+        ParamSpec("bandwidth", int, 8, "CONGEST bandwidth B"),
+        ParamSpec("n_cycles", int, 2, "cycles in the Observation 8.1 embedding check"),
+    ],
+    default_grid={"length": [9, 17, 33, 65]},
+    tags=("simulation-theorem", "congest", "figs8-13"),
+)
+def simulation_theorem(
+    *, seed: int, length: int, n_paths: int, bandwidth: int, n_cycles: int
+) -> dict:
+    net = SimulationTheoremNetwork(n_paths, length)
+    horizon = net.schedule.valid_horizon()
+    accounting = net.simulate(lambda: _ChatterProgram(horizon), bandwidth=bandwidth)
+    diameter = nx.diameter(net.graph)
+    size = net.input_graph_size
+    if size % 2 == 0 and size >= 4:
+        carol, david = matching_pair_for_cycles(
+            size, max(1, min(n_cycles, size // 4)), seed=seed
+        )
+        observation_8_1 = net.check_observation_8_1(carol, david)
+    else:
+        # Perfect matchings need an even Gamma' = Gamma + k; odd sizes skip
+        # the embedding check (the cost accounting above still runs).
+        observation_8_1 = None
+    return {
+        "length": net.length,
+        "nodes": net.graph.number_of_nodes(),
+        "diameter": diameter,
+        "rounds": accounting.rounds,
+        "player_bits": accounting.cost,
+        "server_bits": accounting.server_bits,
+        "per_round_bound": accounting.per_round_bound,
+        "within_per_round_bound": all(
+            c <= accounting.per_round_bound for c in accounting.per_round_cost
+        ),
+        "within_total_bound": accounting.cost <= accounting.total_bound,
+        "diameter_logarithmic": diameter <= 4 * math.log2(net.length) + 6,
+        "observation_8_1": observation_8_1,
+    }
+
+
+@scenario(
+    "gadget-reductions",
+    description="Section 7 gadget reductions: IPmod3->Ham and Gap-Eq->Gap-Ham soundness and blowup",
+    params=[
+        ParamSpec("n", int, 64, "input bits per player"),
+        ParamSpec("trials", int, 20, "random instances checked per point"),
+        ParamSpec("beta", float, 0.125, "gap parameter for the far-instance cycle check"),
+    ],
+    default_grid={"n": [8, 32, 128, 512]},
+    tags=("gadgets", "reductions", "figs4-7"),
+)
+def gadget_reductions(*, seed: int, n: int, trials: int, beta: float) -> dict:
+    rng = random.Random(seed)
+    ip_sound = 0
+    for _ in range(trials):
+        x = tuple(rng.randrange(2) for _ in range(n))
+        y = tuple(rng.randrange(2) for _ in range(n))
+        instance = ipmod3_to_ham(x, y)
+        ip_sound += instance.is_hamiltonian() == (ipmod3_value(x, y) == 0)
+    ip_nodes = instance.n_nodes
+
+    gap_sound = 0
+    for _ in range(trials):
+        x = [rng.randrange(2) for _ in range(n)]
+        y = list(x)
+        delta = rng.randrange(0, max(1, n // 2))
+        for i in rng.sample(range(n), delta):
+            y[i] ^= 1
+        gap_instance = gap_eq_to_ham(x, y)
+        d = gap_eq_mismatch_count(x, y)
+        ok = gap_instance.is_hamiltonian() == (d == 0)
+        if d > 0:
+            ok = ok and gap_instance.cycle_count() == d + 1
+        gap_sound += ok
+    gap_nodes = gap_instance.n_nodes
+
+    # The gap structure: inputs at distance > 2 beta n give Omega(n) cycles.
+    x = [rng.randrange(2) for _ in range(n)]
+    y = list(x)
+    flips = min(n, int(2 * beta * n) + 1)
+    for i in rng.sample(range(n), flips):
+        y[i] ^= 1
+    far_cycles = gap_eq_to_ham(x, y).cycle_count()
+    return {
+        "n": n,
+        "trials": trials,
+        "ipmod3_sound": ip_sound == trials,
+        "ipmod3_nodes": ip_nodes,
+        "ipmod3_blowup": ip_nodes / n,
+        "gap_eq_sound": gap_sound == trials,
+        "gap_eq_nodes": gap_nodes,
+        "gap_eq_blowup": gap_nodes / n,
+        "far_instance_cycles": far_cycles,
+        "far_cycles_linear": far_cycles >= beta * n,
+    }
+
+
+@scenario(
+    "quantum-substrate",
+    description="Quantum substrate validation: teleportation, Holevo, fingerprints, Grover",
+    params=[
+        ParamSpec("check", str, "teleportation", "one of teleportation|holevo|fingerprint|grover"),
+        ParamSpec("trials", int, 20, "random repetitions (teleportation/holevo)"),
+        ParamSpec("size", int, 256, "problem size n (fingerprint/grover)"),
+    ],
+    default_grid={"check": ["teleportation", "holevo", "fingerprint", "grover"]},
+    tags=("quantum", "substrate"),
+)
+def quantum_substrate(*, seed: int, check: str, trials: int, size: int) -> dict:
+    import numpy as np
+
+    from repro.quantum.fingerprint import FingerprintEquality
+    from repro.quantum.grover import grover_find_any, optimal_grover_iterations
+    from repro.quantum.holevo import holevo_bound
+    from repro.quantum.state import QuantumState
+    from repro.quantum.teleportation import teleport
+
+    gen = np.random.default_rng(seed)
+    rng = random.Random(seed)
+    if check == "teleportation":
+        worst = 1.0
+        for _ in range(trials):
+            vec = gen.standard_normal(2) + 1j * gen.standard_normal(2)
+            state = QuantumState(1, vec / np.linalg.norm(vec))
+            received, bits = teleport(state.copy(), rng=rng)
+            worst = min(worst, received.fidelity(state))
+            assert len(bits) == 2
+        return {"check": check, "metric": worst, "passed": worst > 1 - 1e-9}
+    if check == "holevo":
+        worst_margin = float("inf")
+        for _ in range(trials):
+            states = []
+            for _ in range(4):
+                v = gen.standard_normal(2) + 1j * gen.standard_normal(2)
+                v /= np.linalg.norm(v)
+                states.append(np.outer(v, v.conj()))
+            chi = holevo_bound([0.25] * 4, states)
+            worst_margin = min(worst_margin, 1.0 - chi)
+        return {"check": check, "metric": worst_margin, "passed": worst_margin >= -1e-9}
+    if check == "fingerprint":
+        small = FingerprintEquality(max(4, size // 16), seed=seed).fingerprint_qubits
+        large = FingerprintEquality(size, seed=seed).fingerprint_qubits
+        # O(log n): a 16x input blowup adds O(1) qubits.
+        return {"check": check, "metric": large, "passed": large <= small + 6}
+    if check == "grover":
+        marked = {rng.randrange(size)}
+        _, queries = grover_find_any(lambda i: i in marked, size, rng=rng)
+        optimal = optimal_grover_iterations(size, 1)
+        # sqrt scaling with generous slack for the exponential-guessing loop.
+        return {
+            "check": check,
+            "metric": queries,
+            "optimal_single_run": optimal,
+            "passed": queries <= 10 * max(1, optimal),
+        }
+    raise ValueError(f"unknown quantum-substrate check {check!r}")

@@ -179,8 +179,34 @@ class TestExecution:
 
     def test_message_log_records_rounds(self):
         graph = nx.path_graph(3)
-        network = CongestNetwork(graph, FloodProgram, bandwidth=64)
+        network = CongestNetwork(graph, FloodProgram, bandwidth=64, record_messages=True)
         network.run()
         rounds_in_log = [entry[0] for entry in network.message_log]
         assert 0 in rounds_in_log  # on_start send
         assert max(rounds_in_log) >= 1
+
+    def test_message_log_off_by_default(self):
+        # The per-message log grows unboundedly, so it is opt-in; the
+        # aggregate metrics are unaffected.
+        graph = nx.path_graph(3)
+        network = CongestNetwork(graph, FloodProgram, bandwidth=64)
+        network.run()
+        assert network.message_log == []
+        assert network.total_messages > 0
+
+    def test_engine_selection(self):
+        from repro.congest.engine import DenseEngine, EventEngine, get_engine
+
+        graph = nx.path_graph(4)
+        assert isinstance(CongestNetwork(graph, FloodProgram).engine, EventEngine)
+        assert isinstance(CongestNetwork(graph, FloodProgram, engine="dense").engine, DenseEngine)
+        engine = DenseEngine()
+        assert get_engine(engine) is engine
+        with pytest.raises(ValueError, match="unknown engine"):
+            CongestNetwork(graph, FloodProgram, engine="bogus")
+
+    def test_both_engines_strict_mode(self):
+        graph = nx.path_graph(2)
+        for engine in ("dense", "event"):
+            with pytest.raises(BandwidthExceeded):
+                run_program(graph, BigSender, bandwidth=10, strict=True, engine=engine)

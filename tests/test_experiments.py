@@ -201,6 +201,31 @@ class TestParallelRunner:
         assert report.records[0].status == "timeout"
         assert time.monotonic() - start < 10.0
 
+    def test_slow_point_does_not_delay_timeout_detection(self):
+        # Grid order: a slow-but-finishing point first, a hung point second.
+        # Out-of-order collection detects the hang on its own clock instead
+        # of only after the point in front has been collected.
+        points = expand_grid(get_scenario("test-sleepy"), {"delay": [2.0, 30.0]})
+        start = time.monotonic()
+        report = run_sweep(
+            points, store=None, workers=2, task_timeout=2.5, mp_start_method="fork"
+        )
+        elapsed = time.monotonic() - start
+        assert report.records[0].status == "ok"
+        assert report.records[1].status == "timeout"
+        # In-grid-order collection would need ~2.0s + 2.5s before detecting
+        # the hang; independent deadlines detect it at ~2.5s.
+        assert elapsed < 4.0
+
+    def test_workers_recycled_with_maxtasksperchild(self):
+        points = expand_grid(get_scenario("test-echo"), {"x": [1, 2, 3, 4, 5]})
+        report = run_sweep(
+            points, store=None, workers=2, task_timeout=30.0,
+            mp_start_method="fork", maxtasksperchild=1,
+        )
+        assert report.ok and report.executed == 5
+        assert [r.result["x"] for r in report.records] == [1, 2, 3, 4, 5]
+
 
 class TestCLI:
     def test_list(self, capsys):
