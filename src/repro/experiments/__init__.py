@@ -10,11 +10,21 @@ Register a scenario::
         return {"answer": n}
 
 Then ``python -m repro.experiments run my-sweep --workers 4`` expands the
-grid, runs it on a process pool, and persists one JSON record per point
-under ``experiment-results/`` keyed by a content hash of (scenario,
+grid, runs it on a pluggable execution backend (serial, process pool, or
+a shared work-queue spool drained by worker daemons -- see
+:mod:`repro.experiments.backends`), and persists one JSON record per
+point under ``experiment-results/`` keyed by a content hash of (scenario,
 version, params, seed) -- re-runs are served from cache.
 """
 
+from repro.experiments.backends import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    WorkQueueBackend,
+    resolve_backend,
+    run_worker,
+)
 from repro.experiments.registry import (
     ParamSpec,
     Scenario,
@@ -44,4 +54,10 @@ __all__ = [
     "ResultStore",
     "ResultRecord",
     "cache_key",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "WorkQueueBackend",
+    "resolve_backend",
+    "run_worker",
 ]

@@ -1,0 +1,119 @@
+"""Local process-pool backend (the extracted PR-1/PR-2 pool runner).
+
+Pool hygiene semantics are preserved exactly: workers come from an explicit
+``spawn`` context by default (no fork-inherited state; scenario modules are
+shipped by name and re-imported), are recycled after ``maxtasksperchild``
+tasks, and completed futures are collected as they finish -- not in grid
+order -- so one slow point never delays timeout detection for the points
+behind it.
+
+Per-task deadlines approximate "timeout from actual start": at most
+``workers`` tasks hold a deadline at once; a new one is armed (in submit
+order) whenever a slot resolves.  A task that outlives its deadline is
+reported as a ``timeout`` outcome and its worker is abandoned -- shutdown
+then terminates the pool rather than joining it, so the sweep returns.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+
+from repro.experiments.backends.base import ExecutionBackend, Task, execute_point
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Fan tasks out to a local ``multiprocessing.Pool``."""
+
+    name = "pool"
+
+    def __init__(
+        self,
+        workers: int = 2,
+        mp_start_method: str = "spawn",
+        maxtasksperchild: int | None = 16,
+    ) -> None:
+        self.workers = max(workers, 1)
+        ctx = multiprocessing.get_context(mp_start_method)
+        self._pool = ctx.Pool(processes=self.workers, maxtasksperchild=maxtasksperchild)
+        self._tasks: dict[int, Task] = {}
+        self._asyncs: dict[int, multiprocessing.pool.AsyncResult] = {}
+        self._submit_order: list[int] = []
+        self._deadlines: dict[int, float] = {}
+        self._timed_out = False
+        self._any_timeout = False
+
+    def submit(self, task: Task) -> None:
+        point = task.point
+        self._tasks[task.index] = task
+        self._submit_order.append(task.index)
+        self._asyncs[task.index] = self._pool.apply_async(
+            execute_point,
+            (point.scenario, point.params, point.seed, task.scenario_modules),
+        )
+        if task.timeout is not None:
+            self._any_timeout = True
+        self._rearm_deadlines()
+
+    def _rearm_deadlines(self) -> None:
+        if not self._any_timeout:
+            return
+        # Drop already-finished indices so long sweeps stay O(outstanding).
+        if len(self._submit_order) > 2 * len(self._tasks) + 16:
+            self._submit_order = [i for i in self._submit_order if i in self._tasks]
+        armed = sum(1 for idx in self._deadlines if idx in self._tasks)
+        for idx in self._submit_order:
+            if armed >= self.workers:
+                break
+            task = self._tasks.get(idx)
+            if task is None or task.timeout is None or idx in self._deadlines:
+                continue
+            self._deadlines[idx] = time.monotonic() + task.timeout
+            armed += 1
+
+    def poll(self) -> list[tuple[Task, dict]]:
+        batch: list[tuple[Task, dict]] = []
+        for idx in list(self._tasks):
+            if not self._asyncs[idx].ready():
+                continue
+            task = self._tasks.pop(idx)
+            try:
+                outcome = self._asyncs.pop(idx).get()
+            except Exception:
+                # Worker crashed (e.g. killed mid-task): capture, don't lose
+                # the rest of the sweep's bookkeeping.
+                outcome = {
+                    "status": "error",
+                    "error": traceback.format_exc(),
+                    "duration_s": 0.0,
+                }
+            batch.append((task, outcome))
+        now = time.monotonic()
+        for idx in list(self._tasks):
+            deadline = self._deadlines.get(idx)
+            if deadline is not None and now > deadline:
+                self._timed_out = True
+                task = self._tasks.pop(idx)
+                self._asyncs.pop(idx)
+                batch.append(
+                    (
+                        task,
+                        {
+                            "status": "timeout",
+                            "error": f"task exceeded {task.timeout}s",
+                            "duration_s": float(task.timeout),
+                        },
+                    )
+                )
+        if batch:
+            self._rearm_deadlines()
+        return batch
+
+    def shutdown(self) -> None:
+        if self._timed_out:
+            # A hung worker would make close()+join() block forever.
+            self._pool.terminate()
+        else:
+            self._pool.close()
+        self._pool.join()

@@ -1,0 +1,494 @@
+"""Shared work-queue backend: a file-based spool drained by worker daemons.
+
+The spool is a directory (local disk or shared filesystem)::
+
+    <queue-dir>/
+        tasks/<index>-<key>.json    # unclaimed tickets, self-contained JSON
+        claims/<name>.json          # claimed tickets (atomic-rename leases)
+        claims/<name>.hb            # heartbeat, touched while the task runs
+        results/<name>.json         # ticket + outcome, written atomically
+        STOP                        # operator sentinel: every daemon exits
+        STOP.<nonce>                # per-sweep sentinel for spawned daemons
+
+Claiming is an atomic ``os.rename`` from ``tasks/`` to ``claims/``: exactly
+one of any number of racing daemons wins; the losers see the file gone and
+move on.  A claimed ticket whose heartbeat goes stale (daemon died) is
+requeued by the collecting backend, up to ``max_requeues`` attempts.
+
+Workers run ``python -m repro.experiments worker <queue-dir>`` -- any
+number, started before or after the sweep, on the same machine or any
+machine sharing the filesystem.  Each executes tickets in a *subprocess
+watchdog*: the task runs in a child process, the daemon heartbeats while
+it waits, and a ticket with a runtime budget that overruns it is killed
+and reported as a ``timeout`` outcome -- true worker-side per-task
+runtime enforcement, not a collector-side deadline.
+
+Workers given ``--store`` also persist full ``ResultRecord`` shards
+locally (same cache keys as the submitting run), which
+``ResultStore.merge`` / ``python -m repro.experiments merge`` integrate
+into a central store.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import subprocess
+import sys
+import time
+import uuid
+from pathlib import Path
+from typing import Callable
+
+from repro.experiments.backends.base import ExecutionBackend, Task, execute_point
+from repro.experiments.store import ResultRecord, ResultStore, atomic_write_text
+
+#: How long (seconds) a claim may go without a heartbeat before the
+#: collector treats the daemon as dead and requeues the ticket.  Heartbeats
+#: are touched every watchdog tick (~0.1 s), so this is very conservative
+#: on one machine.  Staleness compares the collector's clock against mtimes
+#: written by the worker's host: on a shared filesystem keep clocks
+#: NTP-synced and raise ``lease_timeout`` above the skew plus any attribute
+#: -caching delay (NFS actimeo), or healthy workers will be requeued.
+DEFAULT_LEASE_TIMEOUT = 30.0
+
+#: Watchdog tick: heartbeat period and result-poll granularity.
+_WATCHDOG_TICK = 0.1
+
+
+class QueuePaths:
+    """The spool directory layout."""
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+        self.tasks = self.root / "tasks"
+        self.claims = self.root / "claims"
+        self.results = self.root / "results"
+        self.stop = self.root / "STOP"
+
+    def ensure(self) -> None:
+        for directory in (self.tasks, self.claims, self.results):
+            directory.mkdir(parents=True, exist_ok=True)
+
+    def heartbeat(self, name: str) -> Path:
+        return self.claims / (name + ".hb")
+
+
+def _write_json_atomic(path: Path, payload: dict) -> None:
+    atomic_write_text(path, json.dumps(payload, sort_keys=True))
+
+
+def ticket_name(task: Task, nonce: str) -> str:
+    """Ticket filename: the index prefix makes daemons claim in grid order;
+    the per-sweep nonce keeps concurrent sweeps with overlapping points on
+    a shared spool from clobbering each other's in-flight state."""
+    return f"{task.index:06d}-{task.key}-{nonce}.json"
+
+
+def ticket_payload(task: Task) -> dict:
+    point = task.point
+    return {
+        "index": point.index,
+        "scenario": point.scenario,
+        "params": point.params,
+        "seed": point.seed,
+        "replicate": point.replicate,
+        "key": task.key,
+        "scenario_version": task.scenario_version,
+        "code_version": task.code_version,
+        "scenario_modules": list(task.scenario_modules),
+        "timeout": task.timeout,
+        "attempts": 0,
+    }
+
+
+def record_from_ticket(ticket: dict, outcome: dict) -> ResultRecord:
+    """Reconstruct the full result record a ticket + outcome describe."""
+    return ResultRecord(
+        key=ticket["key"],
+        scenario=ticket["scenario"],
+        params=ticket["params"],
+        seed=ticket["seed"],
+        replicate=ticket["replicate"],
+        status=outcome["status"],
+        result=outcome.get("result"),
+        error=outcome.get("error"),
+        duration_s=outcome.get("duration_s", 0.0),
+        scenario_version=ticket["scenario_version"],
+        code_version=ticket["code_version"],
+    )
+
+
+# -- worker daemon -------------------------------------------------------------
+
+
+def _watchdog_child(conn, scenario: str, params: dict, seed: int, modules: list) -> None:
+    """Task subprocess entry: run the point, report the outcome, exit."""
+    conn.send(execute_point(scenario, params, seed, tuple(modules)))
+    conn.close()
+
+
+def _execute_with_watchdog(
+    ticket: dict, heartbeat: Path, mp_start_method: str = "spawn"
+) -> dict:
+    """Run one ticket in a child process under a runtime-limit watchdog.
+
+    The daemon heartbeats while the child runs; a child that overruns the
+    ticket's ``timeout`` is terminated (then killed) and reported as a
+    ``timeout`` outcome, and a child that dies without reporting (crash,
+    OOM-kill) becomes an ``error`` outcome -- the ticket never goes
+    unanswered.
+    """
+    ctx = multiprocessing.get_context(mp_start_method)
+    recv, send = ctx.Pipe(duplex=False)
+    proc = ctx.Process(
+        target=_watchdog_child,
+        args=(
+            send,
+            ticket["scenario"],
+            ticket["params"],
+            ticket["seed"],
+            ticket["scenario_modules"],
+        ),
+        # Daemonic: a daemon that exits (STOP, idle-out, unhandled error)
+        # takes the in-flight task process with it instead of orphaning it.
+        daemon=True,
+    )
+    start = time.monotonic()
+    proc.start()
+    send.close()  # parent's copy: the child's death now shows up as EOF
+    timeout = ticket.get("timeout")
+    deadline = None if timeout is None else start + float(timeout)
+    outcome = None
+    try:
+        while outcome is None:
+            heartbeat.touch()
+            if recv.poll(_WATCHDOG_TICK):
+                try:
+                    outcome = recv.recv()
+                except EOFError:
+                    outcome = {
+                        "status": "error",
+                        "error": (
+                            f"task process died without reporting "
+                            f"(exitcode={proc.exitcode})"
+                        ),
+                        "duration_s": time.monotonic() - start,
+                    }
+            elif deadline is not None and time.monotonic() > deadline:
+                outcome = {
+                    "status": "timeout",
+                    "error": f"task exceeded {timeout}s runtime limit (killed by worker watchdog)",
+                    "duration_s": float(timeout),
+                }
+    finally:
+        # Timeout, KeyboardInterrupt, anything: never leave the task
+        # process running unsupervised.
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.kill()
+        proc.join(timeout=5.0)
+        recv.close()
+    return outcome
+
+
+def _claim_next(paths: QueuePaths) -> tuple[str, dict] | None:
+    """Claim the lowest-index unclaimed ticket via atomic rename, or None."""
+    for path in sorted(paths.tasks.glob("*.json")):
+        target = paths.claims / path.name
+        try:
+            os.rename(path, target)
+        except FileNotFoundError:
+            continue  # lost the race to another daemon
+        # Heartbeat immediately: rename preserves the ticket's mtime, so a
+        # ticket that waited in the spool longer than the lease timeout
+        # would otherwise look dead the instant it is claimed.
+        paths.heartbeat(path.name).touch()
+        try:
+            return path.name, json.loads(target.read_text())
+        except (OSError, json.JSONDecodeError):
+            # Unreadable ticket: fail it rather than spinning on it forever.
+            _write_json_atomic(
+                paths.results / path.name,
+                {"outcome": {"status": "error", "error": "unreadable ticket", "duration_s": 0.0}},
+            )
+            target.unlink(missing_ok=True)
+            paths.heartbeat(path.name).unlink(missing_ok=True)
+            return None
+    return None
+
+
+def run_worker(
+    queue_dir: str | os.PathLike,
+    store: ResultStore | None = None,
+    max_idle: float | None = None,
+    poll_interval: float = 0.2,
+    mp_start_method: str = "spawn",
+    progress: Callable[[str], None] | None = None,
+    stop_file: str | os.PathLike | None = None,
+) -> int:
+    """Drain tickets from ``queue_dir`` until STOP (or ``max_idle`` seconds
+    without work); returns the number of tickets executed.
+
+    Two stop sentinels: the spool-global ``STOP`` (an operator winding the
+    whole fleet down) and an optional ``stop_file`` (how a sweep dismisses
+    only the daemons it spawned, without touching external ones).
+
+    With ``store``, every outcome is also persisted as a full
+    ``ResultRecord`` in a local shard -- same cache keys as the submitting
+    run, so ``ResultStore.merge`` integrates it later.
+    """
+    paths = QueuePaths(queue_dir)
+    paths.ensure()
+    say = progress or (lambda _msg: None)
+    own_stop = None if stop_file is None else Path(stop_file)
+    last_work = time.monotonic()
+    n_done = 0
+    while True:
+        if paths.stop.exists() or (own_stop is not None and own_stop.exists()):
+            say(f"worker: stop sentinel seen after {n_done} task(s)")
+            break
+        claimed = _claim_next(paths)
+        if claimed is None:
+            if max_idle is not None and time.monotonic() - last_work > max_idle:
+                say(f"worker: idle for {max_idle}s after {n_done} task(s)")
+                break
+            time.sleep(poll_interval)
+            continue
+        name, ticket = claimed
+        say(f"worker: claimed {name} ({ticket['scenario']} #{ticket['index']})")
+        outcome = _execute_with_watchdog(ticket, paths.heartbeat(name), mp_start_method)
+        if store is not None:
+            store.put(record_from_ticket(ticket, outcome))
+        _write_json_atomic(paths.results / name, {"ticket": ticket, "outcome": outcome})
+        # Release the lease only if it is still ours: a collector that
+        # judged this daemon dead (e.g. it was suspended past the lease
+        # timeout) has requeued the ticket with a bumped attempts count,
+        # and the claim may now belong to another daemon.
+        try:
+            still_ours = (
+                json.loads((paths.claims / name).read_text()).get("attempts")
+                == ticket.get("attempts")
+            )
+        except (OSError, json.JSONDecodeError):
+            still_ours = False
+        if still_ours:
+            (paths.claims / name).unlink(missing_ok=True)
+            paths.heartbeat(name).unlink(missing_ok=True)
+        n_done += 1
+        last_work = time.monotonic()
+        say(f"worker: [{outcome['status']}] {name} ({outcome.get('duration_s', 0.0):.2f}s)")
+    return n_done
+
+
+# -- collecting backend --------------------------------------------------------
+
+
+class WorkQueueBackend(ExecutionBackend):
+    """Submit tickets to a spool directory; collect results as they land.
+
+    ``workers > 0`` spawns that many local worker daemons (terminated at
+    shutdown via the STOP sentinel); ``workers == 0`` relies entirely on
+    externally-started daemons pointed at the same directory -- same
+    machine or any machine sharing the filesystem.
+    """
+
+    name = "queue"
+
+    def __init__(
+        self,
+        queue_dir: str | os.PathLike,
+        workers: int = 0,
+        mp_start_method: str = "spawn",
+        lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+        max_requeues: int = 3,
+        worker_poll_interval: float = 0.05,
+        worker_env: dict[str, str] | None = None,
+    ) -> None:
+        self.paths = QueuePaths(queue_dir)
+        self.paths.ensure()
+        # Distinguishes this sweep's tickets and spawned daemons on a
+        # shared spool (the global STOP sentinel belongs to the operator).
+        self.nonce = uuid.uuid4().hex[:8]
+        self._stop_file = self.paths.root / f"STOP.{self.nonce}"
+        self.lease_timeout = lease_timeout
+        self.max_requeues = max_requeues
+        self.mp_start_method = mp_start_method
+        self._tasks: dict[str, Task] = {}
+        self._procs: list[subprocess.Popen] = []
+        # Lease checks stat claim/heartbeat files per outstanding task, so
+        # run them on a fraction of the lease timeout, not on every poll.
+        self._reclaim_interval = min(1.0, max(lease_timeout / 2.0, 0.05))
+        self._next_reclaim = time.monotonic() + self._reclaim_interval
+        env = dict(os.environ)
+        if worker_env:
+            env.update(worker_env)
+        for _ in range(max(workers, 0)):
+            self._procs.append(
+                subprocess.Popen(
+                    [
+                        sys.executable,
+                        "-m",
+                        "repro.experiments",
+                        "worker",
+                        str(self.paths.root),
+                        "--poll-interval",
+                        str(worker_poll_interval),
+                        "--mp-start",
+                        mp_start_method,
+                        "--stop-file",
+                        str(self._stop_file),
+                    ],
+                    env=env,
+                    stdout=subprocess.DEVNULL,
+                    stderr=subprocess.DEVNULL,
+                )
+            )
+
+    def submit(self, task: Task) -> None:
+        # The nonce makes the name unique to this sweep, so stale artifacts
+        # from earlier or concurrent sweeps can never alias this ticket.
+        name = ticket_name(task, self.nonce)
+        _write_json_atomic(self.paths.tasks / name, ticket_payload(task))
+        self._tasks[name] = task
+
+    def poll(self) -> list[tuple[Task, dict]]:
+        # Reclaim first, so a ticket that just exhausted its lease attempts
+        # surfaces as an error outcome in this same poll.
+        if time.monotonic() >= self._next_reclaim:
+            self._next_reclaim = time.monotonic() + self._reclaim_interval
+            self._reclaim_dead_leases()
+        batch: list[tuple[Task, dict]] = []
+        # One directory scan per poll, not one stat per outstanding task.
+        with os.scandir(self.paths.results) as entries:
+            landed = [e.name for e in entries if e.name in self._tasks]
+        for name in landed:
+            path = self.paths.results / name
+            payload = json.loads(path.read_text())
+            batch.append((self._tasks.pop(name), payload["outcome"]))
+            path.unlink(missing_ok=True)
+        batch.extend(self._check_daemons())
+        return batch
+
+    def _reclaim_dead_leases(self) -> None:
+        """Requeue outstanding claims whose daemon stopped heartbeating."""
+        now = time.time()
+        for name in list(self._tasks):
+            claim = self.paths.claims / name
+            if not claim.exists():
+                continue
+            beat = self.paths.heartbeat(name)
+            try:
+                last = beat.stat().st_mtime if beat.exists() else claim.stat().st_mtime
+            except FileNotFoundError:
+                continue  # completed (or requeued) between the checks
+            if now - last <= self.lease_timeout:
+                continue
+            try:
+                ticket = json.loads(claim.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            ticket["attempts"] = ticket.get("attempts", 0) + 1
+            if ticket["attempts"] > self.max_requeues:
+                _write_json_atomic(
+                    self.paths.results / name,
+                    {
+                        "ticket": ticket,
+                        "outcome": {
+                            "status": "error",
+                            "error": (
+                                f"ticket lease expired {ticket['attempts']} time(s) "
+                                f"(worker died mid-task); giving up"
+                            ),
+                            "duration_s": 0.0,
+                        },
+                    },
+                )
+                claim.unlink(missing_ok=True)
+                beat.unlink(missing_ok=True)
+            else:
+                # Republish by atomic rename of the (rewritten) claim: the
+                # old lease ceases to exist at the instant the ticket
+                # becomes claimable, so a racing daemon's fresh claim and
+                # heartbeat can never be deleted from under it.
+                beat.unlink(missing_ok=True)
+                _write_json_atomic(claim, ticket)
+                os.rename(claim, self.paths.tasks / name)
+
+    def _check_daemons(self) -> list[tuple[Task, dict]]:
+        """Fail outstanding tasks if every spawned daemon is gone.
+
+        Nothing would ever drain them, so surface the dead fleet as error
+        outcomes (the backend contract: failures become outcome dicts, the
+        sweep's finished records survive) rather than raising.
+        """
+        if not self._procs or not self._tasks:
+            return []
+        if any(proc.poll() is None for proc in self._procs):
+            return []
+        codes = [proc.returncode for proc in self._procs]
+        now = time.time()
+
+        def heartbeat_fresh(name: str) -> bool:
+            try:
+                age = now - self.paths.heartbeat(name).stat().st_mtime
+            except FileNotFoundError:
+                return False
+            return age <= self.lease_timeout
+
+        # A fresh heartbeat on any of our tickets means an external daemon
+        # is also draining this spool; leave everything to it rather than
+        # discarding work it would have picked up.
+        if any(heartbeat_fresh(name) for name in self._tasks):
+            return []
+        batch = []
+        for name in list(self._tasks):
+            landed = self.paths.results / name
+            if landed.exists():
+                # The daemon finished this one on its way out; take the
+                # real outcome over a synthesized failure.
+                payload = json.loads(landed.read_text())
+                batch.append((self._tasks.pop(name), payload["outcome"]))
+                landed.unlink(missing_ok=True)
+                continue
+            for stale in (self.paths.tasks / name, self.paths.claims / name,
+                          self.paths.heartbeat(name)):
+                stale.unlink(missing_ok=True)
+            batch.append(
+                (
+                    self._tasks.pop(name),
+                    {
+                        "status": "error",
+                        "error": (
+                            f"all {len(self._procs)} spawned queue workers exited "
+                            f"(exit codes {codes}) before this task ran"
+                        ),
+                        "duration_s": 0.0,
+                    },
+                )
+            )
+        return batch
+
+    def shutdown(self) -> None:
+        if not self._procs:
+            return  # external daemons keep draining other sweeps
+        # Dismiss only the daemons this sweep spawned: the per-instance
+        # sentinel leaves external daemons (and the operator's global STOP
+        # semantics) untouched.
+        self._stop_file.touch()
+        deadline = time.monotonic() + 10.0
+        for proc in self._procs:
+            try:
+                proc.wait(timeout=max(0.1, deadline - time.monotonic()))
+            except subprocess.TimeoutExpired:
+                proc.terminate()
+                try:
+                    proc.wait(timeout=5.0)
+                except subprocess.TimeoutExpired:  # pragma: no cover
+                    proc.kill()
+                    proc.wait()
+        self._procs.clear()
+        self._stop_file.unlink(missing_ok=True)

@@ -1,0 +1,38 @@
+"""In-process backend: execute each task inline at submit time.
+
+The reference backend -- no processes, no timeouts, deterministic order.
+Because it runs :func:`~repro.experiments.backends.base.execute_point`
+directly, a serial sweep is bit-identical to a pool or queue one.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.backends.base import ExecutionBackend, Task, execute_point
+
+
+class SerialBackend(ExecutionBackend):
+    """Run tasks inline, one at a time, in submission order."""
+
+    name = "serial"
+    synchronous = True
+
+    def __init__(self) -> None:
+        self._done: list[tuple[Task, dict]] = []
+
+    def submit(self, task: Task) -> None:
+        if task.timeout is not None:
+            raise ValueError(
+                "SerialBackend cannot enforce a per-task timeout on in-process "
+                "execution; use the pool or queue backend"
+            )
+        outcome = execute_point(
+            task.point.scenario, task.point.params, task.point.seed, task.scenario_modules
+        )
+        self._done.append((task, outcome))
+
+    def poll(self) -> list[tuple[Task, dict]]:
+        batch, self._done = self._done, []
+        return batch
+
+    def shutdown(self) -> None:
+        self._done.clear()

@@ -1,10 +1,14 @@
-"""``python -m repro.experiments`` -- list, run and report experiments.
+"""``python -m repro.experiments`` -- list, run, report, worker, merge.
 
 Examples::
 
     python -m repro.experiments list
     python -m repro.experiments run fig3-mst-tradeoff --workers 4
     python -m repro.experiments run chsh-gamma2 --set restarts=1,4,16 --replicates 3
+    python -m repro.experiments run fig3-mst-tradeoff --backend queue \\
+        --queue-dir /shared/q --workers 0          # external daemons drain it
+    python -m repro.experiments worker /shared/q --store worker-shard
+    python -m repro.experiments merge experiment-results worker-shard
     python -m repro.experiments report fig3-mst-tradeoff
 """
 
@@ -13,6 +17,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.experiments.backends import BACKEND_NAMES, run_worker
 from repro.experiments.registry import ScenarioNotFound, get_scenario, list_scenarios
 from repro.experiments.runner import run_sweep
 from repro.experiments.store import DEFAULT_STORE, ResultStore
@@ -57,10 +62,58 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--store", default=str(DEFAULT_STORE), help="result-store directory")
     run.add_argument("--no-store", action="store_true", help="run without persisting results")
     run.add_argument("--force", action="store_true", help="ignore cached records and re-run")
+    run.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default="auto",
+        help="execution backend (auto = serial unless --workers/--timeout ask for a pool)",
+    )
+    run.add_argument(
+        "--queue-dir",
+        default=None,
+        help="spool directory for --backend queue (defaults to <store>/.queue)",
+    )
 
     report = sub.add_parser("report", help="summarise stored records")
     report.add_argument("scenario", nargs="?", default=None, help="restrict to one scenario")
     report.add_argument("--store", default=str(DEFAULT_STORE), help="result-store directory")
+
+    worker = sub.add_parser(
+        "worker", help="daemon: claim and execute tickets from a work-queue spool"
+    )
+    worker.add_argument("queue_dir", help="spool directory (see `run --backend queue`)")
+    worker.add_argument(
+        "--store",
+        default=None,
+        help="also persist full records to this local store shard (merge later)",
+    )
+    worker.add_argument(
+        "--max-idle",
+        type=float,
+        default=None,
+        help="exit after this many seconds without work (default: run until STOP)",
+    )
+    worker.add_argument(
+        "--poll-interval", type=float, default=0.2, help="queue scan period in seconds"
+    )
+    worker.add_argument(
+        "--mp-start",
+        choices=("spawn", "fork", "forkserver"),
+        default="spawn",
+        help="start method for the per-task watchdog subprocess",
+    )
+    worker.add_argument(
+        "--stop-file",
+        default=None,
+        help="extra stop sentinel (used by sweeps to dismiss the daemons they spawned)",
+    )
+
+    merge = sub.add_parser("merge", help="import records from store shards into one store")
+    merge.add_argument("dest", help="destination store directory")
+    merge.add_argument("sources", nargs="+", help="source store directories (worker shards)")
+    merge.add_argument(
+        "--overwrite", action="store_true", help="let source records replace existing keys"
+    )
     return parser
 
 
@@ -82,9 +135,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     grid = parse_axis_overrides(args.overrides)
     points = expand_grid(scn, grid, replicates=args.replicates, base_seed=args.base_seed)
     store = None if args.no_store else ResultStore(args.store)
+    queue_dir = args.queue_dir
+    if args.backend == "queue" and queue_dir is None:
+        queue_dir = str((store.root if store is not None else DEFAULT_STORE) / ".queue")
     print(
-        f"sweep {scn.name}: {len(points)} point(s), workers={args.workers}, "
-        f"store={'<none>' if store is None else store.root}"
+        f"sweep {scn.name}: {len(points)} point(s), backend={args.backend}, "
+        f"workers={args.workers}, store={'<none>' if store is None else store.root}"
     )
     report = run_sweep(
         points,
@@ -94,7 +150,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         force=args.force,
         progress=print,
         mp_start_method=args.mp_start,
-        maxtasksperchild=args.maxtasksperchild or None,
+        maxtasksperchild=args.maxtasksperchild,
+        backend=args.backend,
+        queue_dir=queue_dir,
     )
     print(
         f"done: {report.cached} cached, {report.executed} executed, {report.failed} failed"
@@ -105,6 +163,36 @@ def _cmd_run(args: argparse.Namespace) -> int:
         else:
             print(f"  #{record.replicate} {record.params} -> {record.status.upper()}")
     return 0 if report.ok else 1
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    shard = None if args.store is None else ResultStore(args.store)
+    print(
+        f"worker: draining {args.queue_dir}"
+        + (f", shard -> {shard.root}" if shard is not None else "")
+    )
+    n_done = run_worker(
+        args.queue_dir,
+        store=shard,
+        max_idle=args.max_idle,
+        poll_interval=args.poll_interval,
+        mp_start_method=args.mp_start,
+        progress=print,
+        stop_file=args.stop_file,
+    )
+    print(f"worker: executed {n_done} task(s)")
+    return 0
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    dest = ResultStore(args.dest)
+    total = 0
+    for source in args.sources:
+        imported = dest.merge(source, overwrite=args.overwrite)
+        total += imported
+        print(f"merged {imported} record(s) from {source}")
+    print(f"{dest.root}: {total} imported, {dest.count()} total record(s)")
+    return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -140,6 +228,10 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_list()
         if args.command == "run":
             return _cmd_run(args)
+        if args.command == "worker":
+            return _cmd_worker(args)
+        if args.command == "merge":
+            return _cmd_merge(args)
         return _cmd_report(args)
     except BrokenPipeError:
         # Output piped into e.g. `head`; not an error.

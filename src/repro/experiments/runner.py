@@ -1,38 +1,30 @@
-"""Sweep execution: serial or process-pool, with caching and failure capture.
+"""Sweep orchestration: cache resolution + backend dispatch + reassembly.
 
 The runner resolves each sweep point against the result store first
-(skip-if-cached), ships the misses to a process pool (workers re-import
-the scenario modules, so only names and plain params cross the pipe),
-captures failures as records instead of crashing the sweep, enforces a
-per-task timeout, and returns records in deterministic grid order
-regardless of completion order.
+(skip-if-cached), hands the misses to an execution backend
+(:mod:`repro.experiments.backends`: serial inline, local process pool, or
+a shared work-queue spool drained by worker daemons), captures failures
+as records instead of crashing the sweep, and returns records in
+deterministic grid order regardless of completion order.
 
-Pool hygiene: workers come from an explicit ``spawn`` context by default
-(no fork-inherited state; scenario modules are shipped by name and
-re-imported, so registrations survive the spawn) and are recycled after
-``maxtasksperchild`` tasks, so long sweeps cannot accumulate per-worker
-state or leak memory.  Futures are collected as they complete -- not in
-grid order -- so one slow point never delays timeout detection for the
-points behind it; records are reordered into grid order at the end.
+Which backend runs the tasks is a dispatch detail: all of them execute
+:func:`~repro.experiments.backends.base.execute_point`, so the records a
+sweep produces are field-identical (modulo ``duration_s``) across
+backends -- ``tests/test_backends.py`` asserts exactly that.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import time
-import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-#: How often the collector polls outstanding futures, in seconds.
+#: How often the collector polls an idle backend, in seconds.
 _POLL_INTERVAL = 0.02
 
 import repro
-from repro.experiments.registry import (
-    BUILTIN_SCENARIO_MODULES,
-    get_scenario,
-    load_builtin_scenarios,
-)
+from repro.experiments.backends import ExecutionBackend, Task, resolve_backend
+from repro.experiments.registry import get_scenario
 from repro.experiments.store import ResultRecord, ResultStore, cache_key
 from repro.experiments.sweep import SweepPoint
 
@@ -56,31 +48,6 @@ class SweepReport:
         return [r.result for r in self.records]
 
 
-def _execute_point(
-    scenario_name: str,
-    params: dict[str, Any],
-    seed: int,
-    scenario_modules: tuple[str, ...],
-) -> dict:
-    """Worker entry: run one point, capture success or failure as a dict."""
-    load_builtin_scenarios(tuple(m for m in scenario_modules if m not in BUILTIN_SCENARIO_MODULES))
-    start = time.perf_counter()
-    try:
-        scn = get_scenario(scenario_name)
-        result = scn.run(params, seed)
-        if not isinstance(result, dict):
-            raise TypeError(
-                f"scenario {scenario_name!r} must return a dict, got {type(result).__name__}"
-            )
-        return {"status": "ok", "result": result, "duration_s": time.perf_counter() - start}
-    except Exception:
-        return {
-            "status": "error",
-            "error": traceback.format_exc(),
-            "duration_s": time.perf_counter() - start,
-        }
-
-
 def run_sweep(
     points: list[SweepPoint],
     store: ResultStore | None = None,
@@ -91,32 +58,46 @@ def run_sweep(
     progress: Callable[[str], None] | None = None,
     mp_start_method: str = "spawn",
     maxtasksperchild: int | None = 16,
+    backend: str | ExecutionBackend = "auto",
+    queue_dir: str | None = None,
 ) -> SweepReport:
     """Run a sweep; returns records in the order of ``points``.
 
-    ``workers <= 1`` runs inline (same code path workers execute, so a
-    serial run is bit-identical to a parallel one).  With a store, points
-    whose cache key already has a record are served from cache unless
-    ``force``; fresh records are persisted as they complete.
+    ``backend`` picks the execution backend: ``"auto"`` (serial for a
+    single worker with no timeout, else a process pool -- the historical
+    behaviour), ``"serial"``, ``"pool"``, or ``"queue"`` (a spool at
+    ``queue_dir`` drained by ``workers`` spawned daemons, or by external
+    ``python -m repro.experiments worker`` daemons when ``workers=0`` --
+    note an external-drain sweep waits indefinitely for the fleet, there
+    is no collector-side deadline on unclaimed tickets).  An
+    :class:`ExecutionBackend` instance is used as-is and left open for
+    the caller; named backends are constructed and shut down here.
 
-    ``task_timeout`` bounds the wall-clock runtime per point, measured
-    from when a worker slot becomes available for it (completed futures
-    are collected out of grid order, so a slow point in front never
-    delays timeout detection for the points behind it).  Setting it
-    forces pool execution even with ``workers=1`` (a timeout cannot be
-    enforced on in-process execution), and a pool with a hung worker is
-    terminated rather than joined, so ``run_sweep`` returns.
+    With a store, points whose cache key already has a record are served
+    from cache unless ``force``; fresh records are persisted as they
+    complete.
+
+    ``task_timeout`` bounds the wall-clock runtime per point.  The pool
+    backend approximates it with per-task deadlines measured from when a
+    worker slot becomes available (a hung worker is terminated rather
+    than joined, so ``run_sweep`` returns); the queue backend enforces it
+    worker-side, killing the over-budget task subprocess.
 
     ``mp_start_method`` picks the multiprocessing context (``spawn`` by
     default: clean workers, no fork-inherited state) and
-    ``maxtasksperchild`` recycles workers so long sweeps cannot
-    accumulate per-worker state.
+    ``maxtasksperchild`` recycles pool workers so long sweeps cannot
+    accumulate per-worker state (``0`` means never recycle, for
+    ``multiprocessing.Pool`` parity).
     """
     if not points:
         raise ValueError("empty sweep")
     names = {p.scenario for p in points}
     if len(names) != 1:
         raise ValueError(f"sweep mixes scenarios {sorted(names)}; run them separately")
+    if maxtasksperchild == 0:
+        # Pool parity for library callers: 0 is a natural "never recycle"
+        # spelling but an invalid multiprocessing.Pool argument.
+        maxtasksperchild = None
     scenario = get_scenario(points[0].scenario)
     report = SweepReport(scenario=scenario.name)
     say = progress or (lambda _msg: None)
@@ -169,95 +150,62 @@ def run_sweep(
         if store is not None:
             store.put(record)
 
-    # Ship the scenario's defining module to workers so pools work under
-    # spawn/forkserver too, where the parent's registry is not inherited.
-    # (A __main__ registration can't be re-imported by name; it still works
-    # under fork, the Linux default.)
+    # Ship the scenario's defining module to workers so pools and queue
+    # daemons work under spawn/forkserver too, where the parent's registry
+    # is not inherited.  (A __main__ registration can't be re-imported by
+    # name; it still works under fork, the Linux default.)
     if scenario.fn.__module__ not in ("__main__", None):
         scenario_modules = tuple(dict.fromkeys((*scenario_modules, scenario.fn.__module__)))
 
-    use_pool = pending and (workers > 1 or task_timeout is not None)
-    if not use_pool:
-        for point in pending:
-            finish(
-                point,
-                _execute_point(point.scenario, point.params, point.seed, scenario_modules),
+    if pending:
+        owned = not isinstance(backend, ExecutionBackend)
+        engine = (
+            resolve_backend(
+                backend,
+                workers=workers,
+                n_tasks=len(pending),
+                task_timeout=task_timeout,
+                mp_start_method=mp_start_method,
+                maxtasksperchild=maxtasksperchild,
+                queue_dir=queue_dir,
             )
-    else:
-        n_workers = min(max(workers, 1), len(pending))
-        ctx = multiprocessing.get_context(mp_start_method)
-        pool = ctx.Pool(processes=n_workers, maxtasksperchild=maxtasksperchild)
-        timed_out = False
+            if owned
+            else backend
+        )
+        tasks = [
+            Task(
+                point=point,
+                key=keys[point.index],
+                scenario_version=scenario.version,
+                code_version=repro.__version__,
+                scenario_modules=scenario_modules,
+                timeout=task_timeout,
+            )
+            for point in pending
+        ]
+        outstanding = 0
         try:
-            asyncs = {
-                point.index: pool.apply_async(
-                    _execute_point,
-                    (point.scenario, point.params, point.seed, scenario_modules),
-                )
-                for point in pending
-            }
-            remaining = {point.index: point for point in pending}
-            # Per-task deadlines approximate "timeout from actual start":
-            # at most n_workers tasks hold a deadline at once; a new one is
-            # armed (in grid order) whenever a slot resolves.
-            deadlines: dict[int, float] = {}
-
-            def rearm_deadlines() -> None:
-                if task_timeout is None:
-                    return
-                armed = sum(1 for idx in deadlines if idx in remaining)
-                for point in pending:
-                    if armed >= n_workers:
-                        break
-                    if point.index in remaining and point.index not in deadlines:
-                        deadlines[point.index] = time.monotonic() + task_timeout
-                        armed += 1
-
-            rearm_deadlines()
-            while remaining:
-                progressed = False
-                for idx in list(remaining):
-                    if not asyncs[idx].ready():
-                        continue
-                    point = remaining.pop(idx)
-                    try:
-                        outcome = asyncs[idx].get()
-                    except Exception:
-                        # Worker crashed (e.g. killed mid-task): capture,
-                        # don't lose the rest of the sweep's bookkeeping.
-                        outcome = {
-                            "status": "error",
-                            "error": traceback.format_exc(),
-                            "duration_s": 0.0,
-                        }
-                    finish(point, outcome)
-                    progressed = True
-                if task_timeout is not None:
-                    now = time.monotonic()
-                    for idx in list(remaining):
-                        if idx in deadlines and now > deadlines[idx]:
-                            timed_out = True
-                            point = remaining.pop(idx)
-                            finish(
-                                point,
-                                {
-                                    "status": "timeout",
-                                    "error": f"task exceeded {task_timeout}s",
-                                    "duration_s": float(task_timeout),
-                                },
-                            )
-                            progressed = True
-                if progressed:
-                    rearm_deadlines()
-                elif remaining:
+            for task in tasks:
+                engine.submit(task)
+                outstanding += 1
+                if not engine.synchronous:
+                    continue
+                # Serial execution finished the point inside submit();
+                # drain now so progress streams instead of batching.
+                for done_task, outcome in engine.poll():
+                    finish(done_task.point, outcome)
+                    outstanding -= 1
+            while outstanding:
+                batch = engine.poll()
+                if not batch:
                     time.sleep(_POLL_INTERVAL)
+                    continue
+                for done_task, outcome in batch:
+                    finish(done_task.point, outcome)
+                    outstanding -= 1
         finally:
-            if timed_out:
-                # A hung worker would make close()+join() block forever.
-                pool.terminate()
-            else:
-                pool.close()
-            pool.join()
+            if owned:
+                engine.shutdown()
 
     report.records = [slots[p.index] for p in points]
     return report

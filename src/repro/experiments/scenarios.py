@@ -19,6 +19,7 @@ from repro.algorithms.disjointness import (
 )
 from repro.algorithms.elkin import run_elkin_approx_mst
 from repro.algorithms.mst import run_gkp_mst, tree_weight
+from repro.algorithms.spanning_structures import run_linear_size_spanner
 from repro.algorithms.verification import run_verification
 from repro.congest.node import Node, NodeProgram
 from repro.congest.topology import dumbbell_graph
@@ -34,8 +35,13 @@ from repro.core.gamma2 import gamma2_dual
 from repro.core.nonlocal_games import chsh_game
 from repro.core.server_model import StructuredServerProtocol, two_party_simulation_of_server
 from repro.core.simulation_theorem import SimulationTheoremNetwork
+from repro.congest.engine import EventEngine
 from repro.experiments.registry import ParamSpec, scenario
-from repro.graphs.generators import matching_pair_for_cycles, random_connected_graph
+from repro.graphs.generators import (
+    matching_pair_for_cycles,
+    random_connected_graph,
+    random_weighted_graph,
+)
 
 
 def _weighted_graph(n: int, extra_edge_prob: float, graph_seed: int, weight_seed: int) -> nx.Graph:
@@ -429,6 +435,54 @@ def simulation_theorem(
         "within_total_bound": accounting.cost <= accounting.total_bound,
         "diameter_logarithmic": diameter <= 4 * math.log2(net.length) + 6,
         "observation_8_1": observation_8_1,
+    }
+
+
+@scenario(
+    "spanner-skeleton",
+    description="Elkin-Matar-style linear-size (2k-1)-spanner: stretch/size vs n on CONGEST",
+    params=[
+        ParamSpec("n", int, 60, "nodes in the live CONGEST network"),
+        ParamSpec("stretch_k", int, 0, "spanner parameter k (0 = ceil(log2 n), linear size)"),
+        ParamSpec("aspect_ratio", float, 32.0, "weight aspect ratio W"),
+        ParamSpec("extra_edge_prob", float, 0.15, "extra-edge density of the random graph"),
+        ParamSpec("bandwidth", int, 128, "CONGEST bandwidth B"),
+    ],
+    default_grid={"n": [30, 60, 120]},
+    tags=("spanner", "skeleton", "congest", "elkin-matar"),
+)
+def spanner_skeleton(
+    *, seed: int, n: int, stretch_k: int, aspect_ratio: float, extra_edge_prob: float, bandwidth: int
+) -> dict:
+    """Greedy (2k-1)-spanner of a random weighted graph, built distributedly.
+
+    At ``k = ceil(log2 n)`` the girth bound makes the spanner linear-size
+    (< 2n edges) -- the skeleton regime of Elkin-Matar (arXiv:1907.10895).
+    The phased CONGEST construction is mostly quiet by design, so the
+    scenario also reports how much of the dense ``n x rounds`` schedule the
+    event engine actually stepped.
+    """
+    graph = random_weighted_graph(
+        n, aspect_ratio=aspect_ratio, extra_edge_prob=extra_edge_prob, seed=seed
+    )
+    k = stretch_k if stretch_k >= 1 else max(1, math.ceil(math.log2(n)))
+    engine = EventEngine()
+    summary, run = run_linear_size_spanner(graph, k, bandwidth=bandwidth, engine=engine)
+    dense_steps = n * run.rounds
+    return {
+        "n": n,
+        "m": summary["m"],
+        "k": k,
+        "stretch_bound": 2 * k - 1,
+        "spanner_edges": summary["spanner_edges"],
+        "size_ratio": summary["spanner_edges"] / n,
+        "linear_size": summary["spanner_edges"] < 2 * n,
+        "max_stretch": summary["max_stretch"],
+        "within_stretch": summary["max_stretch"] <= 2 * k - 1 + 1e-9,
+        "rounds": run.rounds,
+        "total_bits": run.total_bits,
+        "node_steps": engine.node_steps,
+        "quiet_fraction": 1.0 - engine.node_steps / dense_steps if dense_steps else 0.0,
     }
 
 

@@ -24,6 +24,20 @@ from repro.experiments.sweep import canonical_json
 DEFAULT_STORE = Path("experiment-results")
 
 
+def atomic_write_text(path: Path, text: str) -> None:
+    """Write via tmp-file + rename: a crash never leaves a truncated file
+    that later poisons a cache or a work-queue spool."""
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
 def cache_key(
     scenario_name: str,
     params: dict[str, Any],
@@ -62,7 +76,12 @@ class ResultRecord:
     meta: dict = field(default_factory=dict)
 
     def to_json(self) -> str:
-        return json.dumps(asdict(self), sort_keys=True, indent=2, default=repr)
+        # Strict by design: a `default=repr` fallback would silently
+        # stringify a non-serializable result, so a cached replay would
+        # return a different payload than the fresh run.  Backends validate
+        # serializability when the result is produced (`execute_point`)
+        # and fail the point with a clear error instead.
+        return json.dumps(asdict(self), sort_keys=True, indent=2)
 
     @classmethod
     def from_json(cls, text: str) -> "ResultRecord":
@@ -92,17 +111,7 @@ class ResultStore:
     def put(self, record: ResultRecord) -> Path:
         path = self._path(record.scenario, record.key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        # Atomic write: a crashed run never leaves a truncated record that
-        # later poisons the cache.
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(record.to_json())
-            os.replace(tmp, path)
-        except BaseException:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-            raise
+        atomic_write_text(path, record.to_json())
         return path
 
     def iter_records(self, scenario_name: str | None = None) -> Iterator[ResultRecord]:
@@ -121,3 +130,23 @@ class ResultStore:
 
     def count(self, scenario_name: str | None = None) -> int:
         return sum(1 for _ in self.iter_records(scenario_name))
+
+    def merge(self, other: "ResultStore | str | os.PathLike", overwrite: bool = False) -> int:
+        """Import every record from another store root into this one.
+
+        Cache keys are content hashes, so records written by remote queue
+        workers into local shards integrate under the same keys a central
+        run would have used.  Existing records win unless ``overwrite``
+        (the store is write-once by convention).  Returns the number of
+        records imported.
+        """
+        source = other if isinstance(other, ResultStore) else ResultStore(other)
+        if source.root.resolve() == self.root.resolve():
+            raise ValueError(f"cannot merge a store into itself: {self.root}")
+        imported = 0
+        for record in source.iter_records():
+            if not overwrite and self.has(record.scenario, record.key):
+                continue
+            self.put(record)
+            imported += 1
+        return imported

@@ -7,13 +7,16 @@ import pytest
 
 from repro.algorithms.spanning_structures import (
     forest_weight,
+    greedy_spanner,
     min_routing_cost_tree_2approx,
     routing_cost,
+    run_linear_size_spanner,
     run_min_routing_cost_tree,
     run_shallow_light_tree,
     run_shortest_st_path,
     run_steiner_forest,
     shallow_light_tree,
+    spanner_max_stretch,
     steiner_forest_2approx,
 )
 from repro.graphs.generators import random_connected_graph
@@ -116,6 +119,45 @@ class TestSteinerForest:
         weight, result = run_steiner_forest(graph, [[0, 5, 9]])
         assert weight > 0
         assert result.halted
+
+
+class TestGreedySpanner:
+    @pytest.mark.parametrize("seed,k", [(0, 2), (1, 3), (2, 2)])
+    def test_stretch_guarantee(self, seed, k):
+        graph = weighted(20, seed, extra=0.4)
+        spanner = greedy_spanner(graph, k)
+        assert set(spanner.nodes()) == set(graph.nodes())
+        assert nx.is_connected(spanner)
+        assert spanner_max_stretch(graph, spanner) <= 2 * k - 1 + 1e-9
+
+    def test_linear_size_at_log_k(self):
+        import math
+
+        n = 60
+        graph = weighted(n, 3, extra=0.5)
+        k = math.ceil(math.log2(n))
+        spanner = greedy_spanner(graph, k)
+        # Girth > 2k forces O(n) edges at k = ceil(log2 n); the constant
+        # here is generous (the greedy spanner is usually near a tree).
+        assert spanner.number_of_edges() < 2 * n
+        assert spanner.number_of_edges() < graph.number_of_edges()
+
+    def test_k1_keeps_shortest_path_metric(self):
+        # Stretch 1: the spanner must preserve every pairwise distance.
+        graph = weighted(10, 4, extra=0.6)
+        spanner = greedy_spanner(graph, 1)
+        assert spanner_max_stretch(graph, spanner) == pytest.approx(1.0)
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            greedy_spanner(weighted(8, 5), 0)
+
+    def test_distributed_runner(self):
+        graph = weighted(14, 6)
+        summary, result = run_linear_size_spanner(graph, 2)
+        assert result.halted
+        assert summary["spanner_edges"] <= summary["m"]
+        assert summary["max_stretch"] <= 3.0 + 1e-9
 
 
 class TestShortestSTPath:

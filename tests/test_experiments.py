@@ -26,6 +26,7 @@ BUILTINS = (
     "fig3-mst-tradeoff",
     "gkp-cap-ablation",
     "server-model-equivalence",
+    "spanner-skeleton",
     "verification-suite",
 )
 
@@ -187,7 +188,9 @@ class TestParallelRunner:
     def test_parallel_timeout_is_captured(self):
         points = expand_grid(get_scenario("test-sleepy"), {"delay": [30.0, 0.01]})
         start = time.monotonic()
-        report = run_sweep(points, store=None, workers=2, task_timeout=1.0)
+        # 2s deadline: enough margin for spawn-worker boot under CI load
+        # (the deadline clock starts at submission, not at worker start).
+        report = run_sweep(points, store=None, workers=2, task_timeout=2.0)
         assert report.records[0].status == "timeout"
         assert report.records[1].status == "ok"
         # The hung worker is terminated, not joined: run_sweep returns well
@@ -225,6 +228,19 @@ class TestParallelRunner:
         )
         assert report.ok and report.executed == 5
         assert [r.result["x"] for r in report.records] == [1, 2, 3, 4, 5]
+
+
+class TestSpannerSkeletonScenario:
+    def test_linear_size_and_stretch_with_quiet_rounds(self):
+        points = expand_grid(get_scenario("spanner-skeleton"), {"n": 24})
+        report = run_sweep(points, store=None)
+        assert report.ok
+        result = report.results()[0]
+        assert result["linear_size"] and result["within_stretch"]
+        assert result["spanner_edges"] < result["m"] or result["m"] < 2 * 24
+        # The phased construction is mostly quiet: the event engine must
+        # skip a large majority of the dense n x rounds schedule.
+        assert result["quiet_fraction"] > 0.5
 
 
 class TestCLI:
