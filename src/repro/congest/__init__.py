@@ -11,14 +11,24 @@ of rounds, messages and bits.
 - :mod:`repro.congest.transport` -- link buffers, chunking, strict-mode
   checks and bit metrics.
 - :mod:`repro.congest.engine`    -- pluggable schedulers: the reference
-  ``DenseEngine`` and the event-driven ``EventEngine`` fast path.
+  ``DenseEngine``, the event-driven ``EventEngine`` fast path and the
+  thread-sharded ``ParallelEngine``, all over one batched step ABI
+  (``StepPlan`` / ``step_batch``).
 - :mod:`repro.congest.network`   -- the ``CongestNetwork`` façade tying the
   layers together.
 - :mod:`repro.congest.topology`  -- network families, including the
   Simulation-Theorem network of Figs. 8/10/13.
 """
 
-from repro.congest.engine import DenseEngine, Engine, EventEngine, get_engine
+from repro.congest.engine import (
+    DenseEngine,
+    Engine,
+    EventEngine,
+    ParallelEngine,
+    StepPlan,
+    get_engine,
+    step_batch,
+)
 from repro.congest.message import QubitPayload, Received, bit_size
 from repro.congest.network import BandwidthExceeded, CongestNetwork, RunResult, run_program
 from repro.congest.node import Node, NodeProgram
@@ -36,6 +46,9 @@ __all__ = [
     "Engine",
     "DenseEngine",
     "EventEngine",
+    "ParallelEngine",
+    "StepPlan",
+    "step_batch",
     "get_engine",
     "LinkTransport",
     "run_program",

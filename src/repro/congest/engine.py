@@ -14,21 +14,36 @@ engines produce the same :class:`RunResult` for the same program:
   Rounds in which nothing happens are skipped in O(1) by jumping the clock
   to the next delivery or program wake-up, with the transport accounting
   the skipped stretch exactly.
+- :class:`ParallelEngine` -- the event engine's active-set semantics with
+  the per-round step phase sharded across a thread pool.  Nodes are
+  share-nothing within a round (each step touches only its own node, rng
+  and staged sends), so shards run concurrently; outboxes are merged at
+  the round barrier in node-id order, keeping every metric -- including
+  the opt-in message log -- byte-identical to the serial engines.
+
+All engines express a round's work as a :class:`StepPlan` (the batched step
+ABI): the ordered active set plus that round's inboxes.  :func:`step_batch`
+is the one inner loop that actually calls ``on_round``; serial engines run
+it over the whole plan, the parallel engine over contiguous shards of it.
 
 Equivalence contract: a program's idleness hint must only skip rounds whose
 ``on_round`` call would have been a no-op (no sends, no halting, no change
 to future behaviour) -- the default hint claims no idle rounds, so arbitrary
-programs run identically on both engines, and hinted programs are covered
+programs run identically on every engine, and hinted programs are covered
 by the cross-engine equivalence suite (``tests/test_engine_equivalence.py``).
 """
 
 from __future__ import annotations
 
 import heapq
+import os
+import sys
+from concurrent.futures import ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Hashable
+from typing import TYPE_CHECKING, Any, Hashable, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.congest.message import Received
     from repro.congest.network import CongestNetwork
 
 
@@ -55,6 +70,46 @@ class RunResult:
         return next(iter(self.outputs.values()))
 
 
+@dataclass
+class StepPlan:
+    """One round's batch of node steps: the batched step ABI.
+
+    ``node_ids`` is the active set in canonical (node-id) order, already
+    filtered to non-halted nodes; ``inboxes`` maps node id to that round's
+    deliveries.  A plan is immutable input to the step phase: any engine --
+    serial or sharded -- that executes it via :func:`step_batch` produces
+    the same program-visible behaviour.
+    """
+
+    round_no: int
+    node_ids: list[Hashable]
+    inboxes: dict[Hashable, list["Received"]]
+
+
+def step_batch(
+    network: "CongestNetwork", plan: StepPlan, node_ids: Sequence[Hashable] | None = None
+) -> int:
+    """Step ``node_ids`` (default: the whole plan) serially; returns the
+    number of nodes stepped.
+
+    The single ``on_round`` dispatch loop shared by every engine.  A shard
+    of a parallel round is just a contiguous slice of ``plan.node_ids``
+    passed through ``node_ids``; within the slice nodes step in plan order.
+    """
+    nodes = network.nodes
+    programs = network.programs
+    inboxes = plan.inboxes
+    round_no = plan.round_no
+    stepped = 0
+    for nid in plan.node_ids if node_ids is None else node_ids:
+        node = nodes[nid]
+        if node.halted:
+            continue
+        programs[nid].on_round(node, round_no, inboxes.get(nid, []))
+        stepped += 1
+    return stepped
+
+
 class Engine:
     """Steps node programs against the transport clock."""
 
@@ -62,6 +117,10 @@ class Engine:
 
     def run(self, network: "CongestNetwork", max_rounds: int, stop_on_quiescence: bool) -> RunResult:
         raise NotImplementedError
+
+    def _execute_plan(self, network: "CongestNetwork", plan: StepPlan) -> None:
+        """Run one round's step phase; subclasses may shard or batch it."""
+        step_batch(network, plan)
 
     @staticmethod
     def _result(network: "CongestNetwork", rounds: int) -> RunResult:
@@ -109,11 +168,12 @@ class DenseEngine(Engine):
             round_no += 1
             network.current_round = round_no
             inboxes = transport.deliver_round()
-            for node_id in network.nodes:
-                node = network.nodes[node_id]
-                if node.halted:
-                    continue
-                network.programs[node_id].on_round(node, round_no, inboxes.get(node_id, []))
+            plan = StepPlan(
+                round_no,
+                [nid for nid, node in network.nodes.items() if not node.halted],
+                inboxes,
+            )
+            self._execute_plan(network, plan)
             transport.flush()
 
         return self._result(network, round_no)
@@ -137,6 +197,9 @@ class EventEngine(Engine):
 
     def __init__(self) -> None:
         self.node_steps = 0
+
+    def _execute_plan(self, network: "CongestNetwork", plan: StepPlan) -> None:
+        self.node_steps += step_batch(network, plan)
 
     def run(self, network: "CongestNetwork", max_rounds: int, stop_on_quiescence: bool) -> RunResult:
         transport = network.transport
@@ -212,13 +275,20 @@ class EventEngine(Engine):
                 rnd, _, nid = heapq.heappop(heap)
                 if rnd == round_no and wake.get(nid) == rnd and not network.nodes[nid].halted:
                     step.add(nid)
-            for nid in sorted(step, key=order.__getitem__):
-                node = network.nodes[nid]
-                if node.halted:
-                    continue
-                self.node_steps += 1
-                network.programs[nid].on_round(node, round_no, inboxes.get(nid, []))
-                if node.halted:
+            plan = StepPlan(
+                round_no,
+                sorted(
+                    (nid for nid in step if not network.nodes[nid].halted),
+                    key=order.__getitem__,
+                ),
+                inboxes,
+            )
+            # The step phase: share-nothing within the round, so subclasses
+            # may shard it across threads.  Bookkeeping (halt accounting and
+            # wake-up scheduling) stays serial, after the barrier.
+            self._execute_plan(network, plan)
+            for nid in plan.node_ids:
+                if network.nodes[nid].halted:
                     live -= 1
                     wake[nid] = None
                 else:
@@ -228,14 +298,140 @@ class EventEngine(Engine):
         return self._result(network, round_no)
 
 
-_ENGINES = {"dense": DenseEngine, "event": EventEngine}
+class ParallelEngine(EventEngine):
+    """Active-set engine whose step phase is sharded across a thread pool.
+
+    Inherits the event engine's clock (active set, O(1) skips, quiescence
+    probing) and replaces only the step phase: each round's plan is
+    partitioned into ``threads`` contiguous shards of the node-id-ordered
+    active set, shards are stepped concurrently, and each thread's sends are
+    staged in a :class:`~repro.congest.transport.ShardOutbox` merged at the
+    round barrier in shard (= node-id) order.  Because nodes are
+    share-nothing within a round, every ``RunResult`` field -- and the
+    opt-in message log -- is identical to the serial engines, regardless of
+    thread count or interleaving.
+
+    ``threads`` defaults to the host CPU count.  Rounds whose active set is
+    smaller than ``min_parallel_nodes`` are stepped inline: a shard
+    dispatch costs more than a handful of node steps, so mostly-quiet
+    rounds should not pay for the pool.  The threshold defaults to
+    ``4 * threads`` where OS threads can actually run Python bytecode
+    concurrently (a free-threaded build), and to "never shard" on
+    GIL-serialised builds -- there the shards would serialise on the
+    interpreter lock and the dispatch overhead is pure loss, so the engine
+    sits at event-engine parity instead.  Pass ``min_parallel_nodes``
+    explicitly to force sharding regardless (as the equivalence tests do).
+    """
+
+    name = "parallel"
+
+    def __init__(self, threads: int | None = None, min_parallel_nodes: int | None = None) -> None:
+        super().__init__()
+        if threads is not None and threads < 1:
+            raise ValueError("threads must be at least 1")
+        self.threads = threads if threads is not None else (os.cpu_count() or 1)
+        if min_parallel_nodes is not None:
+            self.min_parallel_nodes: float = max(1, min_parallel_nodes)
+        elif getattr(sys, "_is_gil_enabled", lambda: True)():
+            self.min_parallel_nodes = float("inf")
+        else:
+            self.min_parallel_nodes = 4 * self.threads
+        self._pool: ThreadPoolExecutor | None = None
+
+    def run(self, network: "CongestNetwork", max_rounds: int, stop_on_quiescence: bool) -> RunResult:
+        if self.threads == 1 or self.min_parallel_nodes == float("inf"):
+            # One shard is the event engine; likewise a threshold no round
+            # can reach (the GIL-build default).  Skip the pool entirely.
+            return super().run(network, max_rounds, stop_on_quiescence)
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.threads, thread_name_prefix="congest-shard"
+        )
+        try:
+            return super().run(network, max_rounds, stop_on_quiescence)
+        finally:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def _execute_plan(self, network: "CongestNetwork", plan: StepPlan) -> None:
+        pool = self._pool
+        ids = plan.node_ids
+        if pool is None or len(ids) < self.min_parallel_nodes:
+            self.node_steps += step_batch(network, plan)
+            return
+        shard_size = -(-len(ids) // self.threads)  # ceil: at most `threads` shards
+        shards = [ids[i : i + shard_size] for i in range(0, len(ids), shard_size)]
+        transport = network.transport
+        transport.begin_shard_staging()
+        try:
+            # The calling thread works shard 0 itself instead of blocking on
+            # the pool -- one fewer dispatch round-trip per round.
+            futures = [
+                pool.submit(self._step_shard, network, plan, shard) for shard in shards[1:]
+            ]
+            try:
+                first = self._step_shard(network, plan, shards[0])
+            finally:
+                # Barrier: every shard must have stopped touching the
+                # transport before staging ends, even if one raised.
+                wait(futures)
+        finally:
+            transport.end_shard_staging()
+        results = [first] + [future.result() for future in futures]
+        # Merge in shard (= node-id) order, stopping at the earliest failed
+        # shard: the merged staging -- totals, message log -- then matches
+        # what the serial engines would have accumulated up to the failing
+        # node's step, and that shard's error propagates as theirs would.
+        # (Later shards' *program* state may have advanced concurrently;
+        # only an aborting run observes that, and only via node state.)
+        merged = []
+        error = None
+        for outbox, stepped, exc in results:
+            merged.append((outbox, stepped))
+            if exc is not None:
+                error = exc
+                break
+        transport.merge_shard_outboxes(box for box, _ in merged)
+        self.node_steps += sum(stepped for _, stepped in merged)
+        if error is not None:
+            raise error
+
+    @staticmethod
+    def _step_shard(network: "CongestNetwork", plan: StepPlan, shard: list[Hashable]):
+        """Step one shard behind a thread-local outbox.
+
+        Failures are returned, not raised: the outbox must survive (it holds
+        the sends staged before the failing node, which the serial engines
+        would have counted) and the caller decides merge order and which
+        error wins.
+        """
+        transport = network.transport
+        outbox = transport.open_shard_outbox()
+        stepped = 0
+        error: BaseException | None = None
+        try:
+            stepped = step_batch(network, plan, shard)
+        except BaseException as exc:  # noqa: BLE001 - re-raised by the caller
+            error = exc
+        finally:
+            transport.close_shard_outbox()
+        return outbox, stepped, error
 
 
-def get_engine(spec: str | Engine) -> Engine:
-    """Resolve an engine spec: an :class:`Engine` instance or a name."""
+_ENGINES = {"dense": DenseEngine, "event": EventEngine, "parallel": ParallelEngine}
+
+
+def get_engine(spec: str | Engine, threads: int | None = None) -> Engine:
+    """Resolve an engine spec: an :class:`Engine` instance or a name.
+
+    ``threads`` sizes the :class:`ParallelEngine` pool; it is ignored for
+    engines (and instances) that do not take a thread count.
+    """
     if isinstance(spec, Engine):
         return spec
     try:
-        return _ENGINES[spec]()
+        cls = _ENGINES[spec]
     except KeyError:
         raise ValueError(f"unknown engine {spec!r}; known: {sorted(_ENGINES)}") from None
+    if cls is ParallelEngine:
+        return ParallelEngine(threads=threads)
+    return cls()

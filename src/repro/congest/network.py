@@ -15,17 +15,21 @@ The implementation is split into three layers (see each module's docstring):
 - :mod:`repro.congest.transport` -- per-edge bit accounting, chunking,
   strict-mode checks, metrics (:class:`LinkTransport`);
 - :mod:`repro.congest.engine` -- pluggable round schedulers: the reference
-  :class:`~repro.congest.engine.DenseEngine` (every node, every round) and
-  the default :class:`~repro.congest.engine.EventEngine` (active-node set,
-  O(1) skips over quiet rounds);
+  :class:`~repro.congest.engine.DenseEngine` (every node, every round), the
+  default :class:`~repro.congest.engine.EventEngine` (active-node set,
+  O(1) skips over quiet rounds) and
+  :class:`~repro.congest.engine.ParallelEngine` (the event clock with the
+  step phase sharded across a thread pool);
 - :mod:`repro.congest.node` -- the program API, including the idleness
   hints (``next_active_round`` / phase-level ``idle_until``) the event
   engine exploits.
 
 :class:`CongestNetwork` wires the three together; pick the engine with the
-``engine="event"|"dense"`` kwarg.  Both produce identical
-:class:`RunResult`\\ s for the same program -- ``dense`` is the reference to
-cross-check against, ``event`` the fast default.
+``engine="event"|"dense"|"parallel"`` kwarg (``engine_threads`` sizes the
+parallel pool).  All engines produce identical :class:`RunResult`\\ s for
+the same program -- ``dense`` is the reference to cross-check against,
+``event`` the fast default, ``parallel`` the sharded stepper for large
+active sets on hardware with real thread parallelism.
 """
 
 from __future__ import annotations
@@ -55,6 +59,7 @@ class CongestNetwork:
         inputs: dict[Hashable, Any] | None = None,
         weight: str = "weight",
         engine: str | Engine = "event",
+        engine_threads: int | None = None,
         record_messages: bool = False,
     ):
         if graph.number_of_nodes() == 0:
@@ -68,7 +73,7 @@ class CongestNetwork:
         self._rng = random.Random(seed)
         self.n_nodes = graph.number_of_nodes()
         self.transport = LinkTransport(bandwidth, strict=strict, record_messages=record_messages)
-        self.engine = get_engine(engine)
+        self.engine = get_engine(engine, threads=engine_threads)
 
         self.nodes: dict[Hashable, Node] = {}
         self.programs: dict[Hashable, NodeProgram] = {}
@@ -144,6 +149,7 @@ def run_program(
     max_rounds: int = 100_000,
     strict: bool = False,
     engine: str | Engine = "event",
+    engine_threads: int | None = None,
     record_messages: bool = False,
 ) -> RunResult:
     """Convenience wrapper: build a network, run it, return the result."""
@@ -155,6 +161,7 @@ def run_program(
         seed=seed,
         inputs=inputs,
         engine=engine,
+        engine_threads=engine_threads,
         record_messages=record_messages,
     )
     return network.run(max_rounds=max_rounds)

@@ -39,6 +39,7 @@ def resolve_backend(
     mp_start_method: str = "spawn",
     maxtasksperchild: int | None = 16,
     queue_dir: str | os.PathLike | None = None,
+    claim_batch: int = 1,
 ) -> ExecutionBackend:
     """Build a backend from a CLI-style name.
 
@@ -72,6 +73,7 @@ def resolve_backend(
             queue_dir,
             workers=max(workers, 0),
             mp_start_method=mp_start_method,
+            claim_batch=claim_batch,
         )
     raise ValueError(f"unknown backend {spec!r}; known: {BACKEND_NAMES}")
 

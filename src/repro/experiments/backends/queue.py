@@ -12,8 +12,12 @@ The spool is a directory (local disk or shared filesystem)::
 
 Claiming is an atomic ``os.rename`` from ``tasks/`` to ``claims/``: exactly
 one of any number of racing daemons wins; the losers see the file gone and
-move on.  A claimed ticket whose heartbeat goes stale (daemon died) is
-requeued by the collecting backend, up to ``max_requeues`` attempts.
+move on.  Daemons can claim up to ``--claim-batch`` tickets per spool scan
+(one sorted directory listing amortised over the batch -- the scan is the
+dominant per-ticket cost on very large grids), heartbeating the waiting
+batch-mates while each ticket runs.  A claimed ticket whose heartbeat goes
+stale (daemon died) is requeued by the collecting backend, up to
+``max_requeues`` attempts.
 
 Workers run ``python -m repro.experiments worker <queue-dir>`` -- any
 number, started before or after the sweep, on the same machine or any
@@ -130,7 +134,10 @@ def _watchdog_child(conn, scenario: str, params: dict, seed: int, modules: list)
 
 
 def _execute_with_watchdog(
-    ticket: dict, heartbeat: Path, mp_start_method: str = "spawn"
+    ticket: dict,
+    heartbeat: Path,
+    mp_start_method: str = "spawn",
+    extra_heartbeats: tuple[Path, ...] = (),
 ) -> dict:
     """Run one ticket in a child process under a runtime-limit watchdog.
 
@@ -139,6 +146,11 @@ def _execute_with_watchdog(
     ``timeout`` outcome, and a child that dies without reporting (crash,
     OOM-kill) becomes an ``error`` outcome -- the ticket never goes
     unanswered.
+
+    ``extra_heartbeats`` are leases this daemon holds beyond the running
+    ticket's (batch-claimed tickets waiting their turn); they are touched on
+    the same tick so the collector does not requeue work the daemon is
+    definitely going to execute.
     """
     ctx = multiprocessing.get_context(mp_start_method)
     recv, send = ctx.Pipe(duplex=False)
@@ -164,6 +176,11 @@ def _execute_with_watchdog(
     try:
         while outcome is None:
             heartbeat.touch()
+            for pending in extra_heartbeats:
+                # A batch-mate released early (requeued by the collector and
+                # finished elsewhere) must not be resurrected by a touch.
+                if pending.exists():
+                    pending.touch()
             if recv.poll(_WATCHDOG_TICK):
                 try:
                     outcome = recv.recv()
@@ -195,9 +212,20 @@ def _execute_with_watchdog(
     return outcome
 
 
-def _claim_next(paths: QueuePaths) -> tuple[str, dict] | None:
-    """Claim the lowest-index unclaimed ticket via atomic rename, or None."""
+def _claim_batch(paths: QueuePaths, limit: int) -> list[tuple[str, dict]]:
+    """Claim up to ``limit`` lowest-index unclaimed tickets in one spool scan.
+
+    One ``sorted(glob)`` pass amortises the directory listing over the whole
+    batch -- on very large grids the scan is the dominant per-ticket cost,
+    so daemons claiming one ticket per scan spend more time listing the
+    spool than executing work.  Each rename is still individually atomic:
+    racing daemons interleave their claims, every ticket goes to exactly one
+    of them, and batch claims stay in grid (index) order.
+    """
+    claimed: list[tuple[str, dict]] = []
     for path in sorted(paths.tasks.glob("*.json")):
+        if len(claimed) >= limit:
+            break
         target = paths.claims / path.name
         try:
             os.rename(path, target)
@@ -208,7 +236,7 @@ def _claim_next(paths: QueuePaths) -> tuple[str, dict] | None:
         # would otherwise look dead the instant it is claimed.
         paths.heartbeat(path.name).touch()
         try:
-            return path.name, json.loads(target.read_text())
+            claimed.append((path.name, json.loads(target.read_text())))
         except (OSError, json.JSONDecodeError):
             # Unreadable ticket: fail it rather than spinning on it forever.
             _write_json_atomic(
@@ -217,8 +245,7 @@ def _claim_next(paths: QueuePaths) -> tuple[str, dict] | None:
             )
             target.unlink(missing_ok=True)
             paths.heartbeat(path.name).unlink(missing_ok=True)
-            return None
-    return None
+    return claimed
 
 
 def run_worker(
@@ -229,6 +256,7 @@ def run_worker(
     mp_start_method: str = "spawn",
     progress: Callable[[str], None] | None = None,
     stop_file: str | os.PathLike | None = None,
+    claim_batch: int = 1,
 ) -> int:
     """Drain tickets from ``queue_dir`` until STOP (or ``max_idle`` seconds
     without work); returns the number of tickets executed.
@@ -237,50 +265,103 @@ def run_worker(
     whole fleet down) and an optional ``stop_file`` (how a sweep dismisses
     only the daemons it spawned, without touching external ones).
 
+    ``claim_batch`` claims up to that many tickets per spool scan (the
+    lease scan is the dominant per-ticket cost on very large grids) and
+    executes them in index order, heartbeating the waiting batch-mates while
+    each runs.  Stop sentinels are honoured between batch items, releasing
+    any still-unexecuted claims back to the spool.
+
     With ``store``, every outcome is also persisted as a full
     ``ResultRecord`` in a local shard -- same cache keys as the submitting
     run, so ``ResultStore.merge`` integrates it later.
     """
+    if claim_batch < 1:
+        raise ValueError("claim_batch must be at least 1")
     paths = QueuePaths(queue_dir)
     paths.ensure()
     say = progress or (lambda _msg: None)
     own_stop = None if stop_file is None else Path(stop_file)
+
+    def stop_seen() -> bool:
+        return paths.stop.exists() or (own_stop is not None and own_stop.exists())
+
+    def owned(name: str, ticket: dict) -> bool:
+        # A claim is still ours only while its attempts count matches: a
+        # collector that judged this daemon dead (e.g. it was suspended
+        # past the lease timeout) has requeued the ticket with a bumped
+        # count, and the claim may now belong to another daemon.
+        try:
+            return (
+                json.loads((paths.claims / name).read_text()).get("attempts")
+                == ticket.get("attempts")
+            )
+        except (OSError, json.JSONDecodeError):
+            return False
+
+    def release(name: str, ticket: dict) -> None:
+        if owned(name, ticket):
+            (paths.claims / name).unlink(missing_ok=True)
+            paths.heartbeat(name).unlink(missing_ok=True)
+
+    def requeue(name: str, ticket: dict) -> None:
+        """Hand an unexecuted claim back to the spool (stop mid-batch)."""
+        if not owned(name, ticket):
+            return
+        paths.heartbeat(name).unlink(missing_ok=True)
+        try:
+            os.rename(paths.claims / name, paths.tasks / name)
+        except OSError:
+            # Lost a race with the collector's stale-lease reclaim (it
+            # renamed the claim away between the ownership check and here);
+            # the ticket is back in circulation either way.
+            pass
+
     last_work = time.monotonic()
     n_done = 0
-    while True:
-        if paths.stop.exists() or (own_stop is not None and own_stop.exists()):
+    stopping = False
+    while not stopping:
+        if stop_seen():
             say(f"worker: stop sentinel seen after {n_done} task(s)")
             break
-        claimed = _claim_next(paths)
-        if claimed is None:
+        batch = _claim_batch(paths, claim_batch)
+        if not batch:
             if max_idle is not None and time.monotonic() - last_work > max_idle:
                 say(f"worker: idle for {max_idle}s after {n_done} task(s)")
                 break
             time.sleep(poll_interval)
             continue
-        name, ticket = claimed
-        say(f"worker: claimed {name} ({ticket['scenario']} #{ticket['index']})")
-        outcome = _execute_with_watchdog(ticket, paths.heartbeat(name), mp_start_method)
-        if store is not None:
-            store.put(record_from_ticket(ticket, outcome))
-        _write_json_atomic(paths.results / name, {"ticket": ticket, "outcome": outcome})
-        # Release the lease only if it is still ours: a collector that
-        # judged this daemon dead (e.g. it was suspended past the lease
-        # timeout) has requeued the ticket with a bumped attempts count,
-        # and the claim may now belong to another daemon.
-        try:
-            still_ours = (
-                json.loads((paths.claims / name).read_text()).get("attempts")
-                == ticket.get("attempts")
+        if len(batch) > 1:
+            say(f"worker: claimed batch of {len(batch)} ticket(s)")
+        for position, (name, ticket) in enumerate(batch):
+            if stop_seen():
+                stopping = True
+                for pending_name, pending_ticket in batch[position:]:
+                    requeue(pending_name, pending_ticket)
+                say(f"worker: stop sentinel seen after {n_done} task(s)")
+                break
+            if position > 0 and not owned(name, ticket):
+                # The collector requeued this batch-mate while earlier items
+                # ran (e.g. the daemon was suspended past the lease
+                # timeout); executing it now would duplicate another
+                # daemon's work.
+                say(f"worker: lease on {name} was reclaimed; skipping")
+                continue
+            say(f"worker: claimed {name} ({ticket['scenario']} #{ticket['index']})")
+            outcome = _execute_with_watchdog(
+                ticket,
+                paths.heartbeat(name),
+                mp_start_method,
+                extra_heartbeats=tuple(
+                    paths.heartbeat(pending_name) for pending_name, _ in batch[position + 1 :]
+                ),
             )
-        except (OSError, json.JSONDecodeError):
-            still_ours = False
-        if still_ours:
-            (paths.claims / name).unlink(missing_ok=True)
-            paths.heartbeat(name).unlink(missing_ok=True)
-        n_done += 1
-        last_work = time.monotonic()
-        say(f"worker: [{outcome['status']}] {name} ({outcome.get('duration_s', 0.0):.2f}s)")
+            if store is not None:
+                store.put(record_from_ticket(ticket, outcome))
+            _write_json_atomic(paths.results / name, {"ticket": ticket, "outcome": outcome})
+            release(name, ticket)
+            n_done += 1
+            last_work = time.monotonic()
+            say(f"worker: [{outcome['status']}] {name} ({outcome.get('duration_s', 0.0):.2f}s)")
     return n_done
 
 
@@ -307,6 +388,7 @@ class WorkQueueBackend(ExecutionBackend):
         max_requeues: int = 3,
         worker_poll_interval: float = 0.05,
         worker_env: dict[str, str] | None = None,
+        claim_batch: int = 1,
     ) -> None:
         self.paths = QueuePaths(queue_dir)
         self.paths.ensure()
@@ -341,6 +423,8 @@ class WorkQueueBackend(ExecutionBackend):
                         mp_start_method,
                         "--stop-file",
                         str(self._stop_file),
+                        "--claim-batch",
+                        str(max(claim_batch, 1)),
                     ],
                     env=env,
                     stdout=subprocess.DEVNULL,

@@ -5,6 +5,7 @@ Examples::
     python -m repro.experiments list
     python -m repro.experiments run fig3-mst-tradeoff --workers 4
     python -m repro.experiments run chsh-gamma2 --set restarts=1,4,16 --replicates 3
+    python -m repro.experiments run boruvka-mst-sweep --engine parallel --engine-threads 4
     python -m repro.experiments run fig3-mst-tradeoff --backend queue \\
         --queue-dir /shared/q --workers 0          # external daemons drain it
     python -m repro.experiments worker /shared/q --store worker-shard
@@ -44,6 +45,19 @@ def _build_parser() -> argparse.ArgumentParser:
         help="grid axis override; repeatable; multiple values sweep that axis",
     )
     run.add_argument("--workers", type=int, default=1, help="process-pool size (1 = serial)")
+    run.add_argument(
+        "--engine",
+        choices=("event", "dense", "parallel"),
+        default=None,
+        help="CONGEST engine axis (scenarios declaring an `engine` param only)",
+    )
+    run.add_argument(
+        "--engine-threads",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard threads for --engine parallel (0 = cpu count)",
+    )
     run.add_argument("--replicates", type=int, default=1, help="seeded replicates per grid point")
     run.add_argument("--base-seed", type=int, default=0, help="base seed for per-point derivation")
     run.add_argument("--timeout", type=float, default=None, help="per-task timeout in seconds")
@@ -72,6 +86,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--queue-dir",
         default=None,
         help="spool directory for --backend queue (defaults to <store>/.queue)",
+    )
+    run.add_argument(
+        "--claim-batch",
+        type=int,
+        default=1,
+        metavar="N",
+        help="tickets a spawned queue daemon claims per spool scan (--backend queue)",
     )
 
     report = sub.add_parser("report", help="summarise stored records")
@@ -107,6 +128,13 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="extra stop sentinel (used by sweeps to dismiss the daemons they spawned)",
     )
+    worker.add_argument(
+        "--claim-batch",
+        type=int,
+        default=1,
+        metavar="N",
+        help="tickets to claim per spool scan (amortises listing on large grids)",
+    )
 
     merge = sub.add_parser("merge", help="import records from store shards into one store")
     merge.add_argument("dest", help="destination store directory")
@@ -133,6 +161,12 @@ def _cmd_list() -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     scn = get_scenario(args.scenario)
     grid = parse_axis_overrides(args.overrides)
+    # --engine/--engine-threads are sugar for grid axes; expand_grid rejects
+    # them with a clean error if the scenario does not declare the params.
+    if args.engine is not None:
+        grid["engine"] = [args.engine]
+    if args.engine_threads is not None:
+        grid["engine_threads"] = [args.engine_threads]
     points = expand_grid(scn, grid, replicates=args.replicates, base_seed=args.base_seed)
     store = None if args.no_store else ResultStore(args.store)
     queue_dir = args.queue_dir
@@ -153,6 +187,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         maxtasksperchild=args.maxtasksperchild,
         backend=args.backend,
         queue_dir=queue_dir,
+        claim_batch=args.claim_batch,
     )
     print(
         f"done: {report.cached} cached, {report.executed} executed, {report.failed} failed"
@@ -179,6 +214,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         mp_start_method=args.mp_start,
         progress=print,
         stop_file=args.stop_file,
+        claim_batch=args.claim_batch,
     )
     print(f"worker: executed {n_done} task(s)")
     return 0

@@ -60,6 +60,7 @@ def run_sweep(
     maxtasksperchild: int | None = 16,
     backend: str | ExecutionBackend = "auto",
     queue_dir: str | None = None,
+    claim_batch: int = 1,
 ) -> SweepReport:
     """Run a sweep; returns records in the order of ``points``.
 
@@ -88,6 +89,10 @@ def run_sweep(
     ``maxtasksperchild`` recycles pool workers so long sweeps cannot
     accumulate per-worker state (``0`` means never recycle, for
     ``multiprocessing.Pool`` parity).
+
+    ``claim_batch`` makes the queue backend's spawned daemons claim up to
+    that many tickets per spool scan, amortising the directory listing on
+    very large grids (other backends ignore it).
     """
     if not points:
         raise ValueError("empty sweep")
@@ -168,6 +173,7 @@ def run_sweep(
                 mp_start_method=mp_start_method,
                 maxtasksperchild=maxtasksperchild,
                 queue_dir=queue_dir,
+                claim_batch=claim_batch,
             )
             if owned
             else backend

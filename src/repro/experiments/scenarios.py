@@ -18,7 +18,7 @@ from repro.algorithms.disjointness import (
     run_quantum_disjointness,
 )
 from repro.algorithms.elkin import run_elkin_approx_mst
-from repro.algorithms.mst import run_gkp_mst, tree_weight
+from repro.algorithms.mst import run_boruvka_mst, run_gkp_mst, tree_weight
 from repro.algorithms.spanning_structures import run_linear_size_spanner
 from repro.algorithms.verification import run_verification
 from repro.congest.node import Node, NodeProgram
@@ -35,13 +35,32 @@ from repro.core.gamma2 import gamma2_dual
 from repro.core.nonlocal_games import chsh_game
 from repro.core.server_model import StructuredServerProtocol, two_party_simulation_of_server
 from repro.core.simulation_theorem import SimulationTheoremNetwork
-from repro.congest.engine import EventEngine
+from repro.congest.engine import Engine, get_engine
 from repro.experiments.registry import ParamSpec, scenario
 from repro.graphs.generators import (
     matching_pair_for_cycles,
     random_connected_graph,
     random_weighted_graph,
 )
+
+
+#: Engine-selection axes shared by the CONGEST-heavy scenarios, so sweeps
+#: can put the execution engine itself on the grid (``--engine parallel
+#: --engine-threads 4`` at the CLI).  ``engine_threads = 0`` means the
+#: engine's own default (the host CPU count for ``parallel``).
+ENGINE_PARAMS = (
+    ParamSpec("engine", str, "event", "CONGEST engine: event|dense|parallel"),
+    ParamSpec("engine_threads", int, 0, "parallel-engine shard threads (0 = cpu count)"),
+)
+
+
+def _resolve_engine(engine: str, engine_threads: int) -> Engine:
+    """Build the engine instance a scenario point asked for.
+
+    An instance (not the name) so the scenario can read back introspection
+    counters such as ``node_steps`` after the run.
+    """
+    return get_engine(engine, threads=engine_threads if engine_threads > 0 else None)
 
 
 def _weighted_graph(n: int, extra_edge_prob: float, graph_seed: int, weight_seed: int) -> nx.Graph:
@@ -80,6 +99,7 @@ def _fig3_graph(
         ParamSpec("bandwidth", int, 128, "CONGEST bandwidth B for the GKP run"),
         ParamSpec("extra_edge_prob", float, 0.08, "extra-edge density of the random graph"),
         ParamSpec("graph_seed", int, 17, "topology seed (fixed across the W axis)"),
+        *ENGINE_PARAMS,
     ],
     default_grid={"aspect_ratio": [2.0, 32.0, 256.0, 1024.0, 8192.0]},
     tags=("mst", "congest", "fig3"),
@@ -93,12 +113,14 @@ def fig3_mst_tradeoff(
     bandwidth: int,
     extra_edge_prob: float,
     graph_seed: int,
+    engine: str,
+    engine_threads: int,
 ) -> dict:
     w = aspect_ratio
     graph = _fig3_graph(seed, n, aspect_ratio, extra_edge_prob, graph_seed)
 
-    _, elkin = run_elkin_approx_mst(graph, alpha=alpha)
-    _, gkp = run_gkp_mst(graph, bandwidth=bandwidth)
+    _, elkin = run_elkin_approx_mst(graph, alpha=alpha, engine=_resolve_engine(engine, engine_threads))
+    _, gkp = run_gkp_mst(graph, bandwidth=bandwidth, engine=_resolve_engine(engine, engine_threads))
     formula = fig3_curve(n, alpha, [w])[0]
     return {
         "W": w,
@@ -447,12 +469,21 @@ def simulation_theorem(
         ParamSpec("aspect_ratio", float, 32.0, "weight aspect ratio W"),
         ParamSpec("extra_edge_prob", float, 0.15, "extra-edge density of the random graph"),
         ParamSpec("bandwidth", int, 128, "CONGEST bandwidth B"),
+        *ENGINE_PARAMS,
     ],
     default_grid={"n": [30, 60, 120]},
     tags=("spanner", "skeleton", "congest", "elkin-matar"),
 )
 def spanner_skeleton(
-    *, seed: int, n: int, stretch_k: int, aspect_ratio: float, extra_edge_prob: float, bandwidth: int
+    *,
+    seed: int,
+    n: int,
+    stretch_k: int,
+    aspect_ratio: float,
+    extra_edge_prob: float,
+    bandwidth: int,
+    engine: str,
+    engine_threads: int,
 ) -> dict:
     """Greedy (2k-1)-spanner of a random weighted graph, built distributedly.
 
@@ -460,14 +491,15 @@ def spanner_skeleton(
     (< 2n edges) -- the skeleton regime of Elkin-Matar (arXiv:1907.10895).
     The phased CONGEST construction is mostly quiet by design, so the
     scenario also reports how much of the dense ``n x rounds`` schedule the
-    event engine actually stepped.
+    active-set engines actually stepped.
     """
     graph = random_weighted_graph(
         n, aspect_ratio=aspect_ratio, extra_edge_prob=extra_edge_prob, seed=seed
     )
     k = stretch_k if stretch_k >= 1 else max(1, math.ceil(math.log2(n)))
-    engine = EventEngine()
-    summary, run = run_linear_size_spanner(graph, k, bandwidth=bandwidth, engine=engine)
+    engine_obj = _resolve_engine(engine, engine_threads)
+    summary, run = run_linear_size_spanner(graph, k, bandwidth=bandwidth, engine=engine_obj)
+    node_steps = getattr(engine_obj, "node_steps", None)
     dense_steps = n * run.rounds
     return {
         "n": n,
@@ -481,8 +513,136 @@ def spanner_skeleton(
         "within_stretch": summary["max_stretch"] <= 2 * k - 1 + 1e-9,
         "rounds": run.rounds,
         "total_bits": run.total_bits,
-        "node_steps": engine.node_steps,
-        "quiet_fraction": 1.0 - engine.node_steps / dense_steps if dense_steps else 0.0,
+        "node_steps": node_steps,
+        "quiet_fraction": (
+            1.0 - node_steps / dense_steps if node_steps is not None and dense_steps else None
+        ),
+    }
+
+
+def _boruvka_instance(
+    generator: str, weight_model: str, n: int, extra_edge_prob: float, aspect_ratio: float, seed: int
+) -> nx.Graph:
+    """A NetworkBuild-style MST instance: topology x weight-model product.
+
+    Every node gets planar coordinates (lattice positions are jittered) so
+    the ``euclidean`` weight model is tie-free almost surely -- Borůvka's
+    fragment merging assumes distinct weights.
+    """
+    rng = random.Random(seed)
+    graph: nx.Graph
+    if generator == "random":
+        graph = random_connected_graph(n, extra_edge_prob=extra_edge_prob, seed=seed)
+        pos = {v: (rng.random() * 10, rng.random() * 10) for v in sorted(graph.nodes())}
+    elif generator == "grid":
+        side = max(2, math.isqrt(n))
+        lattice = nx.grid_2d_graph(side, side)
+        labels = {coord: i for i, coord in enumerate(sorted(lattice.nodes()))}
+        graph = nx.relabel_nodes(lattice, labels)
+        pos = {
+            labels[(i, j)]: (i + rng.uniform(-0.3, 0.3), j + rng.uniform(-0.3, 0.3))
+            for i, j in sorted(labels)
+        }
+    elif generator == "geometric":
+        pos = {v: (rng.random() * 10, rng.random() * 10) for v in range(n)}
+        graph = nx.Graph()
+        graph.add_nodes_from(range(n))
+        k_nearest = 3
+        for u in range(n):
+            nearest = sorted(
+                (v for v in range(n) if v != u),
+                key=lambda v: math.dist(pos[u], pos[v]),
+            )[:k_nearest]
+            for v in nearest:
+                graph.add_edge(u, v)
+        # kNN graphs can fragment; bridge components with their closest pair.
+        while not nx.is_connected(graph):
+            components = [sorted(c) for c in nx.connected_components(graph)]
+            u, v = min(
+                ((a, b) for a in components[0] for c in components[1:] for b in c),
+                key=lambda edge: math.dist(pos[edge[0]], pos[edge[1]]),
+            )
+            graph.add_edge(u, v)
+    else:
+        raise ValueError(f"unknown generator {generator!r}; known: random, grid, geometric")
+
+    edges = sorted(graph.edges())
+    if weight_model == "distinct":
+        weights = rng.sample(range(1, 10 * len(edges) + 1), len(edges))
+        for (u, v), w in zip(edges, weights):
+            graph.edges[u, v]["weight"] = float(w)
+    elif weight_model == "uniform":
+        for u, v in edges:
+            graph.edges[u, v]["weight"] = rng.uniform(1.0, aspect_ratio)
+    elif weight_model == "euclidean":
+        for u, v in edges:
+            graph.edges[u, v]["weight"] = math.dist(pos[u], pos[v])
+    else:
+        raise ValueError(
+            f"unknown weight model {weight_model!r}; known: distinct, uniform, euclidean"
+        )
+    return graph
+
+
+@scenario(
+    "boruvka-mst-sweep",
+    description="NetworkBuild-style Boruvka MST sweeps over generator x weight-model grids",
+    params=[
+        ParamSpec("n", int, 64, "nodes in the live CONGEST network"),
+        ParamSpec("generator", str, "random", "topology family: random|grid|geometric"),
+        ParamSpec("weight_model", str, "distinct", "edge weights: distinct|uniform|euclidean"),
+        ParamSpec("extra_edge_prob", float, 0.08, "extra-edge density (random generator)"),
+        ParamSpec("aspect_ratio", float, 64.0, "weight aspect ratio W (uniform model)"),
+        ParamSpec("bandwidth", int, 128, "CONGEST bandwidth B"),
+        *ENGINE_PARAMS,
+    ],
+    default_grid={
+        "generator": ["random", "grid", "geometric"],
+        "weight_model": ["distinct", "euclidean"],
+    },
+    tags=("mst", "boruvka", "congest", "networkbuild"),
+)
+def boruvka_mst_sweep(
+    *,
+    seed: int,
+    n: int,
+    generator: str,
+    weight_model: str,
+    extra_edge_prob: float,
+    aspect_ratio: float,
+    bandwidth: int,
+    engine: str,
+    engine_threads: int,
+) -> dict:
+    """Distributed Borůvka over SEL-Columbia/NetworkBuild-style instances.
+
+    The classic homogeneous CONGEST workload: every live node participates
+    in every announce/flood/merge sub-round, which is exactly the active-set
+    shape the thread-sharded engine targets.  Exactness is checked against
+    the centralised MST weight (all minimum spanning trees share it, so the
+    check is tie-safe).
+    """
+    graph = _boruvka_instance(generator, weight_model, n, extra_edge_prob, aspect_ratio, seed)
+    reference = sum(
+        d["weight"] for _, _, d in nx.minimum_spanning_tree(graph).edges(data=True)
+    )
+    engine_obj = _resolve_engine(engine, engine_threads)
+    edges, run = run_boruvka_mst(graph, bandwidth=bandwidth, seed=seed, engine=engine_obj)
+    weight = tree_weight(graph, edges)
+    return {
+        "n": graph.number_of_nodes(),
+        "m": graph.number_of_edges(),
+        "generator": generator,
+        "weight_model": weight_model,
+        "engine": engine,
+        "tree_edges": len(edges),
+        "tree_weight": weight,
+        "reference_weight": reference,
+        "exact": abs(weight - reference) < 1e-9,
+        "rounds": run.rounds,
+        "total_bits": run.total_bits,
+        "total_messages": run.total_messages,
+        "node_steps": getattr(engine_obj, "node_steps", None),
     }
 
 

@@ -31,7 +31,7 @@ from repro.experiments import (
 )
 from repro.experiments.backends import resolve_backend
 from repro.experiments.backends.base import Task
-from repro.experiments.backends.queue import QueuePaths
+from repro.experiments.backends.queue import QueuePaths, _claim_batch
 from repro.experiments.store import ResultRecord, cache_key
 
 
@@ -214,6 +214,55 @@ class TestQueueBackend:
         assert "workers exited" in outcome["error"]
         backend._procs = []  # the dummy is not a real daemon; skip STOP logic
         backend.shutdown()
+
+    def test_batched_claiming_drains_in_grid_order(self, tmp_path):
+        """--claim-batch: one spool scan claims several tickets (amortised
+        listing), they execute in index order, and records match a serial
+        run field for field."""
+        points = expand_grid(get_scenario("bk-echo"), {"x": [1, 2, 3, 4, 5]})
+        backend = WorkQueueBackend(tmp_path / "spool", workers=0)
+        paths = backend.paths
+        for p in points:
+            backend.submit(_task(p))
+
+        # The claim primitive: one scan takes min(limit, available) tickets,
+        # lowest grid index first, heartbeating each.
+        batch = _claim_batch(paths, 3)
+        assert [t["index"] for _, t in batch] == [0, 1, 2]
+        assert len(list(paths.tasks.glob("*.json"))) == 2
+        assert all((paths.claims / name).exists() for name, _ in batch)
+        assert all(paths.heartbeat(name).exists() for name, _ in batch)
+        # Hand them back so the worker below sees the full spool.
+        for name, _ in batch:
+            paths.heartbeat(name).unlink()
+            os.rename(paths.claims / name, paths.tasks / name)
+
+        shard = ResultStore(tmp_path / "shard")
+        n_done = run_worker(
+            tmp_path / "spool",
+            store=shard,
+            max_idle=0.5,
+            poll_interval=0.05,
+            mp_start_method="fork",
+            claim_batch=3,
+        )
+        assert n_done == 5
+        assert not list(paths.claims.glob("*"))  # all leases released
+        collected = backend.poll()
+        assert sorted(t.index for t, _ in collected) == [0, 1, 2, 3, 4]
+        assert all(outcome["status"] == "ok" for _, outcome in collected)
+
+        serial = run_sweep(points, store=None, backend="serial")
+        by_index = {t.index: o for t, o in collected}
+        for record, point in zip(serial.records, points):
+            assert by_index[point.index]["result"] == record.result
+            shard_record = shard.get("bk-echo", cache_key("bk-echo", point.params, point.seed))
+            assert shard_record is not None
+            assert shard_record.result == record.result
+
+    def test_worker_rejects_nonpositive_claim_batch(self, tmp_path):
+        with pytest.raises(ValueError, match="claim_batch"):
+            run_worker(tmp_path / "spool", claim_batch=0)
 
     def test_stale_lease_is_requeued_then_failed(self, tmp_path):
         backend = WorkQueueBackend(

@@ -1,11 +1,18 @@
-"""Cross-engine equivalence: DenseEngine and EventEngine must agree.
+"""Cross-engine equivalence: Dense, Event and Parallel engines must agree.
 
-Every registered algorithm family runs on both engines over seeded random
-graphs; the full ``RunResult`` must match field for field (rounds, bits,
-messages, outputs, halted -- and the per-round bit trace, which pins down
-the transport's O(1) skip accounting exactly).  This is the contract that
-makes the event engine a drop-in default: any idleness hint that skips a
-round the dense engine needed would show up here as a divergence.
+Every registered algorithm family runs on each engine over seeded random
+graphs; the full ``RunResult`` must match the dense reference field for
+field (rounds, bits, messages, outputs, halted -- and the per-round bit
+trace, which pins down the transport's O(1) skip accounting exactly).  This
+is the contract that makes the event engine a drop-in default and the
+thread-sharded parallel engine a drop-in accelerator: any idleness hint
+that skips a round the dense engine needed, or any shard merge that
+reorders state the serial engines build, would show up here as a
+divergence.
+
+The parallel engine is instantiated with ``min_parallel_nodes=1`` so every
+round genuinely fans out across the thread pool -- the inline small-round
+fallback must not be what makes these tests pass.
 """
 
 import networkx as nx
@@ -26,22 +33,38 @@ from repro.algorithms.framework import (
 from repro.algorithms.mst import run_boruvka_mst, run_gkp_mst, tree_weight
 from repro.algorithms.paths import run_bellman_ford
 from repro.algorithms.verification import run_verification
+from repro.congest.engine import ParallelEngine, get_engine
 from repro.congest.network import CongestNetwork, run_program
 from repro.congest.node import Node, NodeProgram
 from repro.graphs.generators import random_connected_graph
 
+#: The engines checked against the dense reference.
+ENGINES = ("event", "parallel")
 
-def assert_results_match(dense, event):
+
+def make_engine(name):
+    """An engine-under-test instance (or name) for one run.
+
+    ``parallel`` gets 4 threads and no inline fallback, so the sharded step
+    path -- thread-local staging, barrier, node-id-order merge -- is what
+    actually executes, even on the small active sets of these tests.
+    """
+    if name == "parallel":
+        return ParallelEngine(threads=4, min_parallel_nodes=1)
+    return name
+
+
+def assert_results_match(dense, other):
     """Field-for-field RunResult equality (outputs compared by repr)."""
-    assert event.rounds == dense.rounds
-    assert event.total_messages == dense.total_messages
-    assert event.total_bits == dense.total_bits
-    assert event.halted == dense.halted
-    assert event.max_edge_bits_per_round == dense.max_edge_bits_per_round
-    assert event.per_round_bits == dense.per_round_bits
-    assert set(event.outputs) == set(dense.outputs)
+    assert other.rounds == dense.rounds
+    assert other.total_messages == dense.total_messages
+    assert other.total_bits == dense.total_bits
+    assert other.halted == dense.halted
+    assert other.max_edge_bits_per_round == dense.max_edge_bits_per_round
+    assert other.per_round_bits == dense.per_round_bits
+    assert set(other.outputs) == set(dense.outputs)
     for nid in dense.outputs:
-        assert repr(event.outputs[nid]) == repr(dense.outputs[nid]), nid
+        assert repr(other.outputs[nid]) == repr(dense.outputs[nid]), nid
 
 
 def _weighted(n, seed, extra_edge_prob=0.1):
@@ -56,38 +79,48 @@ def _weighted(n, seed, extra_edge_prob=0.1):
 
 
 class TestMstEquivalence:
+    @pytest.mark.parametrize("engine", ENGINES)
     @pytest.mark.parametrize("seed", [0, 7, 23])
-    def test_gkp_mst(self, seed):
+    def test_gkp_mst(self, seed, engine):
         graph = _weighted(26, seed)
         edges_dense, dense = run_gkp_mst(graph, bandwidth=128, seed=0, engine="dense")
-        edges_event, event = run_gkp_mst(graph, bandwidth=128, seed=0, engine="event")
-        assert_results_match(dense, event)
-        assert edges_event == edges_dense
+        edges_other, other = run_gkp_mst(
+            graph, bandwidth=128, seed=0, engine=make_engine(engine)
+        )
+        assert_results_match(dense, other)
+        assert edges_other == edges_dense
         reference = sum(
             d["weight"] for _, _, d in nx.minimum_spanning_tree(graph).edges(data=True)
         )
-        assert abs(tree_weight(graph, edges_event) - reference) < 1e-9
+        assert abs(tree_weight(graph, edges_other) - reference) < 1e-9
 
-    def test_boruvka_mst(self):
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_boruvka_mst(self, engine):
         graph = _weighted(16, 3)
         edges_dense, dense = run_boruvka_mst(graph, bandwidth=128, seed=0, engine="dense")
-        edges_event, event = run_boruvka_mst(graph, bandwidth=128, seed=0, engine="event")
-        assert_results_match(dense, event)
-        assert edges_event == edges_dense
+        edges_other, other = run_boruvka_mst(
+            graph, bandwidth=128, seed=0, engine=make_engine(engine)
+        )
+        assert_results_match(dense, other)
+        assert edges_other == edges_dense
 
-    def test_elkin_staged_flood(self):
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_elkin_staged_flood(self, engine):
         graph = _weighted(24, 11)
         weight_dense, dense = run_elkin_approx_mst(graph, alpha=2.0, engine="dense")
-        weight_event, event = run_elkin_approx_mst(graph, alpha=2.0, engine="event")
-        assert_results_match(dense, event)
-        assert weight_event == weight_dense
+        weight_other, other = run_elkin_approx_mst(
+            graph, alpha=2.0, engine=make_engine(engine)
+        )
+        assert_results_match(dense, other)
+        assert weight_other == weight_dense
 
 
 class TestVerificationEquivalence:
+    @pytest.mark.parametrize("engine", ENGINES)
     @pytest.mark.parametrize(
         "problem", ["spanning tree", "connectivity", "bipartiteness", "s-t connectivity", "cut"]
     )
-    def test_verifiers(self, problem):
+    def test_verifiers(self, problem, engine):
         graph = random_connected_graph(18, extra_edge_prob=0.15, seed=5)
         tree = nx.bfs_tree(graph, source=min(graph.nodes())).to_undirected()
         m_edges = list(tree.edges())
@@ -96,41 +129,44 @@ class TestVerificationEquivalence:
         verdict_dense, dense = run_verification(
             problem, graph, m_edges, bandwidth=64, seed=0, engine="dense", **kwargs
         )
-        verdict_event, event = run_verification(
-            problem, graph, m_edges, bandwidth=64, seed=0, engine="event", **kwargs
+        verdict_other, other = run_verification(
+            problem, graph, m_edges, bandwidth=64, seed=0, engine=make_engine(engine), **kwargs
         )
-        assert_results_match(dense, event)
-        assert verdict_event == verdict_dense
+        assert_results_match(dense, other)
+        assert verdict_other == verdict_dense
 
 
 class TestQuiescenceEquivalence:
+    @pytest.mark.parametrize("engine", ENGINES)
     @pytest.mark.parametrize("seed", [2, 9])
-    def test_bellman_ford(self, seed):
+    def test_bellman_ford(self, seed, engine):
         graph = _weighted(25, seed)
         source = min(graph.nodes())
         dist_dense, dense = run_bellman_ford(graph, source, engine="dense")
-        dist_event, event = run_bellman_ford(graph, source, engine="event")
-        assert_results_match(dense, event)
-        assert dist_event == dist_dense
+        dist_other, other = run_bellman_ford(graph, source, engine=make_engine(engine))
+        assert_results_match(dense, other)
+        assert dist_other == dist_dense
         expected = nx.single_source_dijkstra_path_length(graph, source)
-        assert dist_event == pytest.approx(expected)
+        assert dist_other == pytest.approx(expected)
 
-    def test_quiescent_from_start(self):
-        # No program ever sends: both engines stop at the same (zero-ish)
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_quiescent_from_start(self, engine):
+        # No program ever sends: every engine stops at the same (zero-ish)
         # round under quiescence detection.
         class Silent(NodeProgram):
             def on_round(self, node, round_no, inbox):
                 pass
 
         graph = nx.path_graph(4)
-        results = {}
-        for engine in ("dense", "event"):
-            network = CongestNetwork(graph, Silent, bandwidth=8, engine=engine)
-            results[engine] = network.run(max_rounds=500, stop_on_quiescence=True)
-        assert_results_match(results["dense"], results["event"])
+        dense_net = CongestNetwork(graph, Silent, bandwidth=8, engine="dense")
+        dense = dense_net.run(max_rounds=500, stop_on_quiescence=True)
+        other_net = CongestNetwork(graph, Silent, bandwidth=8, engine=make_engine(engine))
+        other = other_net.run(max_rounds=500, stop_on_quiescence=True)
+        assert_results_match(dense, other)
 
-    def test_max_rounds_without_halting(self):
-        # Nodes never halt and traffic dies out: the event engine must
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_max_rounds_without_halting(self, engine):
+        # Nodes never halt and traffic dies out: the active-set engines must
         # idle the clock out to max_rounds exactly like the dense engine.
         class OneShot(NodeProgram):
             def on_start(self, node):
@@ -144,18 +180,18 @@ class TestQuiescenceEquivalence:
                 return None  # reactive only
 
         graph = nx.path_graph(3)
-        results = {}
-        for engine in ("dense", "event"):
-            results[engine] = run_program(
-                graph, OneShot, bandwidth=8, max_rounds=300, engine=engine
-            )
-        assert_results_match(results["dense"], results["event"])
-        assert results["event"].rounds == 300
-        assert not results["event"].halted
+        dense = run_program(graph, OneShot, bandwidth=8, max_rounds=300, engine="dense")
+        other = run_program(
+            graph, OneShot, bandwidth=8, max_rounds=300, engine=make_engine(engine)
+        )
+        assert_results_match(dense, other)
+        assert other.rounds == 300
+        assert not other.halted
 
 
 class TestFrameworkEquivalence:
-    def test_leader_bfs_convergecast_broadcast(self):
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_leader_bfs_convergecast_broadcast(self, engine):
         graph = random_connected_graph(20, extra_edge_prob=0.1, seed=4)
         d = nx.diameter(graph)
         inputs = {node: {"diameter_bound": d} for node in graph.nodes()}
@@ -175,19 +211,20 @@ class TestFrameworkEquivalence:
             ]
 
         results = {}
-        for engine in ("dense", "event"):
+        for spec in ("dense", make_engine(engine)):
             network = CongestNetwork(
                 graph,
                 lambda: PhasedProgram(phases()),
                 bandwidth=64,
                 inputs=inputs,
-                engine=engine,
+                engine=spec,
             )
-            results[engine] = network.run()
-        assert_results_match(results["dense"], results["event"])
-        assert results["event"].unanimous_output() == 20
+            results[spec if isinstance(spec, str) else engine] = network.run()
+        assert_results_match(results["dense"], results[engine])
+        assert results[engine].unanimous_output() == 20
 
-    def test_pipelined_up_and_downcast(self):
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_pipelined_up_and_downcast(self, engine):
         graph = random_connected_graph(12, extra_edge_prob=0.1, seed=8)
         d = nx.diameter(graph)
         inputs = {node: {"diameter_bound": d} for node in graph.nodes()}
@@ -213,34 +250,38 @@ class TestFrameworkEquivalence:
             ]
 
         results = {}
-        for engine in ("dense", "event"):
+        for spec in ("dense", make_engine(engine)):
             network = CongestNetwork(
                 graph,
                 lambda: PhasedProgram(phases()),
                 bandwidth=128,
                 inputs=inputs,
-                engine=engine,
+                engine=spec,
             )
-            results[engine] = network.run()
-        assert_results_match(results["dense"], results["event"])
-        assert results["event"].unanimous_output() == sorted(range(12))
+            results[spec if isinstance(spec, str) else engine] = network.run()
+        assert_results_match(results["dense"], results[engine])
+        assert results[engine].unanimous_output() == sorted(range(12))
 
-    def test_centralised_skeleton(self):
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_centralised_skeleton(self, engine):
         graph = _weighted(14, 6)
-        answers = {}
-        for engine in ("dense", "event"):
-            answer, run = run_centralised(
-                graph, lambda g: g.number_of_edges(), bandwidth=128, engine=engine
-            )
-            answers[engine] = (answer, run)
-        assert_results_match(answers["dense"][1], answers["event"][1])
-        assert answers["event"][0] == graph.number_of_edges()
+        answer_dense, dense = run_centralised(
+            graph, lambda g: g.number_of_edges(), bandwidth=128, engine="dense"
+        )
+        answer_other, other = run_centralised(
+            graph, lambda g: g.number_of_edges(), bandwidth=128, engine=make_engine(engine)
+        )
+        assert_results_match(dense, other)
+        assert answer_other == graph.number_of_edges()
 
 
 class TestDefaultHintsEquivalence:
-    def test_unhinted_program_runs_identically(self):
-        # A program with no idleness hints: the event engine degenerates to
-        # stepping every node every round and must match exactly.
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_unhinted_program_runs_identically(self, engine):
+        # A program with no idleness hints: the active-set engines
+        # degenerate to stepping every node every round and must match
+        # exactly -- for the parallel engine this is the all-nodes-sharded
+        # hot path.
         class Chatter(NodeProgram):
             def on_start(self, node):
                 node.broadcast(("r", 0), bits=8)
@@ -253,8 +294,122 @@ class TestDefaultHintsEquivalence:
 
         graph = random_connected_graph(10, extra_edge_prob=0.2, seed=12)
         dense = run_program(graph, Chatter, bandwidth=8, engine="dense")
-        event = run_program(graph, Chatter, bandwidth=8, engine="event")
-        assert_results_match(dense, event)
+        other = run_program(graph, Chatter, bandwidth=8, engine=make_engine(engine))
+        assert_results_match(dense, other)
+
+
+class TestMessageLogEquivalence:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_opt_in_message_log_is_byte_identical(self, engine):
+        """record_messages=True: the (round, sender, receiver, bits) log --
+        an *ordered* artifact -- must come out identical, which pins the
+        parallel engine's node-id-order outbox merge exactly."""
+
+        class Chatter(NodeProgram):
+            def on_start(self, node):
+                node.broadcast(("hello", repr(node.id)), bits=16)
+
+            def on_round(self, node, round_no, inbox):
+                if round_no >= 5:
+                    node.halt(len(inbox))
+                    return
+                for msg in inbox:
+                    node.send(msg.sender, ("echo", round_no), bits=8)
+
+        graph = random_connected_graph(14, extra_edge_prob=0.2, seed=21)
+        logs = {}
+        results = {}
+        for name, spec in (("dense", "dense"), (engine, make_engine(engine))):
+            network = CongestNetwork(
+                graph, Chatter, bandwidth=16, engine=spec, record_messages=True
+            )
+            results[name] = network.run()
+            logs[name] = list(network.message_log)
+        assert_results_match(results["dense"], results[engine])
+        assert logs[engine] == logs["dense"]
+        assert len(logs["dense"]) == results["dense"].total_messages
+
+
+class TestParallelDeterminism:
+    def test_one_vs_many_threads_identical_run_results(self):
+        """ParallelEngine must be a pure function of the program: 1 thread
+        (the degenerate serial path) and N threads (real shard fan-out)
+        produce field-identical RunResults and message logs."""
+        from repro.algorithms.mst import BoruvkaMSTProgram
+
+        graph = _weighted(26, 7)
+        runs = {}
+        for threads in (1, 4):
+            engine = ParallelEngine(threads=threads, min_parallel_nodes=1)
+            network = CongestNetwork(
+                graph,
+                BoruvkaMSTProgram,
+                bandwidth=128,
+                seed=0,
+                engine=engine,
+                record_messages=True,
+            )
+            runs[threads] = (network.run(max_rounds=500_000), list(network.message_log))
+        result_1, log_1 = runs[1]
+        result_4, log_4 = runs[4]
+        assert_results_match(result_1, result_4)
+        assert log_1 == log_4
+
+    def test_thread_counts_do_not_change_boruvka(self):
+        graph = _weighted(18, 13)
+        reference = None
+        for threads in (1, 2, 4, 8):
+            edges, result = run_boruvka_mst(
+                graph,
+                bandwidth=128,
+                seed=0,
+                engine=ParallelEngine(threads=threads, min_parallel_nodes=1),
+            )
+            if reference is None:
+                reference = (edges, result)
+            else:
+                assert edges == reference[0]
+                assert_results_match(reference[1], result)
+
+    def test_strict_error_path_metrics_match_serial(self):
+        """A strict-mode violation mid-round: the parallel engine must
+        raise the same error AND leave the same transport totals as the
+        serial engines -- sends staged by nodes before the offender count,
+        later shards' outboxes are discarded."""
+        from repro.congest.network import BandwidthExceeded
+
+        class OneOversized(NodeProgram):
+            def on_start(self, node):
+                node.broadcast(("warmup",), bits=4)
+
+            def on_round(self, node, round_no, inbox):
+                if node.id == 5:
+                    node.send(node.neighbors[0], ("too-big",), bits=999)
+                else:
+                    node.broadcast(("ok", round_no), bits=4)
+
+        graph = nx.path_graph(8)
+        totals = {}
+        for name, spec in (
+            ("dense", "dense"),
+            ("event", "event"),
+            ("parallel", ParallelEngine(threads=4, min_parallel_nodes=1)),
+        ):
+            network = CongestNetwork(
+                graph, OneOversized, bandwidth=8, strict=True, engine=spec
+            )
+            with pytest.raises(BandwidthExceeded):
+                network.run(max_rounds=10)
+            totals[name] = (network.total_messages, network.total_bits)
+        assert totals["parallel"] == totals["dense"] == totals["event"]
+
+    def test_engine_validation(self):
+        with pytest.raises(ValueError, match="threads"):
+            ParallelEngine(threads=0)
+        with pytest.raises(ValueError, match="unknown engine"):
+            get_engine("bogus")
+        assert get_engine("parallel", threads=3).threads == 3
+        assert get_engine("parallel").threads >= 1
 
 
 class TestIdlenessHints:
@@ -285,12 +440,13 @@ class TestIdlenessHints:
 
 
 class TestEventEngineSkips:
-    def test_quiet_rounds_are_not_stepped(self):
-        # The Elkin staged flood is mostly quiet by design: the event engine
-        # must step far fewer node-rounds than the dense n x rounds grid.
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_quiet_rounds_are_not_stepped(self, engine):
+        # The Elkin staged flood is mostly quiet by design: the active-set
+        # engines must step far fewer node-rounds than the dense n x rounds
+        # grid (the parallel engine inherits the event clock, so its step
+        # counter obeys the same bound).
         graph = _weighted(24, 11)
-        _, event = run_elkin_approx_mst(graph, alpha=2.0, engine="event")
-        # Re-run through the network to read the engine's step counter.
         from repro.algorithms.elkin import StagedLabelFloodProgram, quantise_weights
 
         classes, n_classes = quantise_weights(graph, 2.0)
@@ -306,7 +462,12 @@ class TestEventEngineSkips:
             for node in graph.nodes()
         }
         network = CongestNetwork(
-            graph, StagedLabelFloodProgram, bandwidth=64, seed=0, inputs=inputs, engine="event"
+            graph,
+            StagedLabelFloodProgram,
+            bandwidth=64,
+            seed=0,
+            inputs=inputs,
+            engine=make_engine(engine),
         )
         result = network.run(max_rounds=200_000)
         dense_grid = result.rounds * graph.number_of_nodes()

@@ -20,6 +20,7 @@ from repro.experiments.cli import main as cli_main
 from repro.experiments.sweep import derive_seed, parse_axis_overrides
 
 BUILTINS = (
+    "boruvka-mst-sweep",
     "chsh-gamma2",
     "example11-disjointness",
     "fig2-bound-table",
@@ -243,6 +244,41 @@ class TestSpannerSkeletonScenario:
         assert result["quiet_fraction"] > 0.5
 
 
+class TestBoruvkaMstSweepScenario:
+    @pytest.mark.parametrize("generator", ["random", "grid", "geometric"])
+    def test_exact_mst_on_every_topology_family(self, generator):
+        scn = get_scenario("boruvka-mst-sweep")
+        params = scn.resolve_params(
+            {"n": 25, "generator": generator, "weight_model": "euclidean"}
+        )
+        result = scn.run(params, seed=9)
+        assert result["exact"], result
+        assert result["tree_edges"] == result["n"] - 1
+        assert result["rounds"] > 0 and result["total_bits"] > 0
+
+    def test_engine_axis_sweeps_identically(self):
+        """The engine is a grid axis: every engine must report the same MST
+        and the same CONGEST metrics on the same point."""
+        scn = get_scenario("boruvka-mst-sweep")
+        results = {}
+        for engine in ("dense", "event", "parallel"):
+            params = scn.resolve_params(
+                {"n": 16, "generator": "geometric", "weight_model": "distinct",
+                 "engine": engine, "engine_threads": 2}
+            )
+            results[engine] = scn.run(params, seed=5)
+        for engine in ("event", "parallel"):
+            for field in ("tree_weight", "rounds", "total_bits", "total_messages", "exact"):
+                assert results[engine][field] == results["dense"][field], (engine, field)
+
+    def test_unknown_generator_and_weight_model_fail_the_point(self):
+        scn = get_scenario("boruvka-mst-sweep")
+        with pytest.raises(ValueError, match="unknown generator"):
+            scn.run(scn.resolve_params({"generator": "bogus"}), seed=0)
+        with pytest.raises(ValueError, match="unknown weight model"):
+            scn.run(scn.resolve_params({"weight_model": "bogus"}), seed=0)
+
+
 class TestCLI:
     def test_list(self, capsys):
         assert cli_main(["list"]) == 0
@@ -271,6 +307,20 @@ class TestCLI:
         assert cli_main(argv) == 0
         out = capsys.readouterr().out
         assert "3 cached, 0 executed, 0 failed" in out
+
+    def test_engine_flags_become_grid_axes(self, capsys):
+        argv = [
+            "run", "boruvka-mst-sweep", "--no-store",
+            "--set", "n=12", "--set", "generator=random", "--set", "weight_model=distinct",
+            "--engine", "parallel", "--engine-threads", "2",
+        ]
+        assert cli_main(argv) == 0
+        out = capsys.readouterr().out
+        assert "'engine': 'parallel'" in out
+        assert "'engine_threads': 2" in out
+        # Scenarios without an engine param reject the flag cleanly.
+        assert cli_main(["run", "test-echo", "--no-store", "--engine", "dense"]) == 2
+        assert "unknown grid axis" in capsys.readouterr().err
 
     def test_bad_input_gives_clean_error(self, tmp_path, capsys):
         assert cli_main(["run", "test-echo", "--set", "bogus=1", "--store", str(tmp_path)]) == 2
