@@ -93,6 +93,10 @@ def main() -> int:
     }
     Path(args.out).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {args.out}")
+    print(
+        f"chart it: python -m repro.experiments report --html report-site "
+        f"--bench {args.out}"
+    )
     return 0 if all(r["records_match_serial"] and r["failed"] == 0 for r in runs) else 1
 
 

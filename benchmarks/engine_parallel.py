@@ -134,6 +134,10 @@ def main(argv: list[str] | None = None) -> int:
         f"cpus={payload['cpu_count']}, gil={payload['gil_enabled']})"
     )
     print(f"wrote {args.out}")
+    print(
+        f"chart it: python -m repro.experiments report --html report-site "
+        f"--bench {args.out}"
+    )
     if not all(c["engines_agree"] for c in comparisons):
         print("ERROR: engines disagree", file=sys.stderr)
         return 1

@@ -94,6 +94,10 @@ def main(argv: list[str] | None = None) -> int:
         f"{smoke['seconds']:.2f}s, {smoke['failed']} failed"
     )
     print(f"wrote {args.out}")
+    print(
+        f"chart it: python -m repro.experiments report --html report-site "
+        f"--bench {args.out}"
+    )
     if not comparison["engines_agree"]:
         print("ERROR: engines disagree", file=sys.stderr)
         return 1

@@ -27,6 +27,7 @@ from repro.experiments.backends import (
 )
 from repro.experiments.registry import (
     ParamSpec,
+    PlotSpec,
     Scenario,
     ScenarioNotFound,
     get_scenario,
@@ -40,6 +41,7 @@ from repro.experiments.sweep import SweepPoint, derive_seed, expand_grid
 
 __all__ = [
     "ParamSpec",
+    "PlotSpec",
     "Scenario",
     "ScenarioNotFound",
     "scenario",

@@ -93,6 +93,7 @@ class ExecutionBackend:
     synchronous = False
 
     def submit(self, task: Task) -> None:
+        """Accept one task for execution (synchronous backends finish it here)."""
         raise NotImplementedError
 
     def poll(self) -> list[tuple[Task, dict]]:
@@ -100,6 +101,7 @@ class ExecutionBackend:
         raise NotImplementedError
 
     def shutdown(self) -> None:
+        """Release backend resources (pools, spools, spawned daemons)."""
         raise NotImplementedError
 
 

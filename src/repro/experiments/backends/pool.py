@@ -45,6 +45,7 @@ class ProcessPoolBackend(ExecutionBackend):
         self._any_timeout = False
 
     def submit(self, task: Task) -> None:
+        """Dispatch the task to the pool and arm its deadline if it has one."""
         point = task.point
         self._tasks[task.index] = task
         self._submit_order.append(task.index)
@@ -73,6 +74,7 @@ class ProcessPoolBackend(ExecutionBackend):
             armed += 1
 
     def poll(self) -> list[tuple[Task, dict]]:
+        """Collect ready results plus any tasks past their deadline."""
         batch: list[tuple[Task, dict]] = []
         for idx in list(self._tasks):
             if not self._asyncs[idx].ready():
@@ -111,6 +113,7 @@ class ProcessPoolBackend(ExecutionBackend):
         return batch
 
     def shutdown(self) -> None:
+        """Close the pool (terminate instead when a worker timed out)."""
         if self._timed_out:
             # A hung worker would make close()+join() block forever.
             self._pool.terminate()

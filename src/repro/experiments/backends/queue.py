@@ -72,10 +72,12 @@ class QueuePaths:
         self.stop = self.root / "STOP"
 
     def ensure(self) -> None:
+        """Create the spool subdirectories (idempotent)."""
         for directory in (self.tasks, self.claims, self.results):
             directory.mkdir(parents=True, exist_ok=True)
 
     def heartbeat(self, name: str) -> Path:
+        """The heartbeat file a claimant touches while executing ``name``."""
         return self.claims / (name + ".hb")
 
 
@@ -91,6 +93,7 @@ def ticket_name(task: Task, nonce: str) -> str:
 
 
 def ticket_payload(task: Task) -> dict:
+    """The self-contained JSON body a daemon needs to execute the task."""
     point = task.point
     return {
         "index": point.index,
@@ -433,6 +436,7 @@ class WorkQueueBackend(ExecutionBackend):
             )
 
     def submit(self, task: Task) -> None:
+        """Enqueue the task as a JSON ticket in the spool."""
         # The nonce makes the name unique to this sweep, so stale artifacts
         # from earlier or concurrent sweeps can never alias this ticket.
         name = ticket_name(task, self.nonce)
@@ -440,6 +444,7 @@ class WorkQueueBackend(ExecutionBackend):
         self._tasks[name] = task
 
     def poll(self) -> list[tuple[Task, dict]]:
+        """Collect results from the spool, requeueing stale-leased tickets."""
         # Reclaim first, so a ticket that just exhausted its lease attempts
         # surfaces as an error outcome in this same poll.
         if time.monotonic() >= self._next_reclaim:
@@ -557,6 +562,7 @@ class WorkQueueBackend(ExecutionBackend):
         return batch
 
     def shutdown(self) -> None:
+        """Dismiss the daemons this sweep spawned (external ones keep going)."""
         if not self._procs:
             return  # external daemons keep draining other sweeps
         # Dismiss only the daemons this sweep spawned: the per-instance

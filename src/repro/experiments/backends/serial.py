@@ -20,6 +20,7 @@ class SerialBackend(ExecutionBackend):
         self._done: list[tuple[Task, dict]] = []
 
     def submit(self, task: Task) -> None:
+        """Execute the task inline, right now (timeouts are unsupported)."""
         if task.timeout is not None:
             raise ValueError(
                 "SerialBackend cannot enforce a per-task timeout on in-process "
@@ -31,8 +32,10 @@ class SerialBackend(ExecutionBackend):
         self._done.append((task, outcome))
 
     def poll(self) -> list[tuple[Task, dict]]:
+        """Hand back everything submit() already finished."""
         batch, self._done = self._done, []
         return batch
 
     def shutdown(self) -> None:
+        """Drop any uncollected outcomes (nothing else to release)."""
         self._done.clear()

@@ -11,12 +11,17 @@ Examples::
     python -m repro.experiments worker /shared/q --store worker-shard
     python -m repro.experiments merge experiment-results worker-shard
     python -m repro.experiments report fig3-mst-tradeoff
+    python -m repro.experiments report --format json | jq '.[].result'
+    python -m repro.experiments report --html report-site --bench 'BENCH_*.json'
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from dataclasses import asdict
+from pathlib import Path
 
 from repro.experiments.backends import BACKEND_NAMES, run_worker
 from repro.experiments.registry import ScenarioNotFound, get_scenario, list_scenarios
@@ -95,9 +100,33 @@ def _build_parser() -> argparse.ArgumentParser:
         help="tickets a spawned queue daemon claims per spool scan (--backend queue)",
     )
 
-    report = sub.add_parser("report", help="summarise stored records")
+    report = sub.add_parser(
+        "report", help="summarise stored records (text, json, or an HTML site)"
+    )
     report.add_argument("scenario", nargs="?", default=None, help="restrict to one scenario")
     report.add_argument("--store", default=str(DEFAULT_STORE), help="result-store directory")
+    report.add_argument(
+        "--format",
+        choices=("text", "json", "html"),
+        default="text",
+        help="text summary (default), raw records as JSON, or a static HTML site",
+    )
+    report.add_argument(
+        "--html",
+        dest="html_dir",
+        metavar="OUT_DIR",
+        default=None,
+        help="render the HTML site into OUT_DIR (implies --format html; "
+        "--format html alone writes ./report-site)",
+    )
+    report.add_argument(
+        "--bench",
+        action="append",
+        default=[],
+        metavar="GLOB",
+        help="benchmark JSON files/globs (e.g. 'BENCH_*.json') charted on the "
+        "HTML index page; repeatable",
+    )
 
     worker = sub.add_parser(
         "worker", help="daemon: claim and execute tickets from a work-queue spool"
@@ -233,10 +262,32 @@ def _cmd_merge(args: argparse.Namespace) -> int:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     store = ResultStore(args.store)
+    fmt = "html" if args.html_dir is not None else args.format
     records = list(store.iter_records(args.scenario))
     if not records:
+        # Same outcome (exit 1, not a usage error) for every format.
         print(f"no records in {store.root}" + (f" for {args.scenario!r}" if args.scenario else ""))
         return 1
+    if fmt == "html":
+        from repro.experiments.reporting import build_site
+
+        bench_paths: list = []
+        for pattern in args.bench:
+            path = Path(pattern)
+            # A literal path beats glob expansion ('[' in a filename).
+            matches = [path] if path.is_file() else sorted(path.parent.glob(path.name))
+            bench_paths.extend(matches)
+        index = build_site(
+            store,
+            args.html_dir or "report-site",
+            scenario=args.scenario,
+            bench_paths=bench_paths,
+        )
+        print(f"report site: {index}")
+        return 0
+    if fmt == "json":
+        print(json.dumps([asdict(r) for r in records], sort_keys=True, indent=2))
+        return 0
     print(f"{len(records)} record(s) in {store.root}")
     by_scenario: dict[str, list] = {}
     for record in records:
@@ -258,6 +309,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code (0 ok, 1 failed sweep/empty report, 2 usage)."""
     args = _build_parser().parse_args(argv)
     try:
         if args.command == "list":

@@ -51,6 +51,40 @@ class ParamSpec:
 
 
 @dataclass(frozen=True)
+class PlotSpec:
+    """A declarative plot over a scenario's stored records.
+
+    The HTML report subsystem (:mod:`repro.experiments.reporting`) turns
+    each spec into an embedded SVG chart on the scenario's page: ``x``
+    names the horizontal axis and each entry of ``ys`` one series, both
+    resolved per record against the result payload first and the resolved
+    params second.  ``group_by`` splits every series by the distinct
+    values of a (typically categorical) key, e.g. one Borůvka exactness
+    curve per topology generator.  Specs carry no data -- they are pure
+    registry metadata, so ``@scenario(plots=...)`` keeps figure layout
+    next to the code that produces the numbers.
+    """
+
+    name: str
+    title: str
+    x: str
+    ys: tuple[str, ...]
+    #: "line" | "scatter" | "bar" (bar treats ``x`` as categorical).
+    kind: str = "line"
+    logx: bool = False
+    logy: bool = False
+    group_by: str | None = None
+    x_label: str = ""
+    y_label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("line", "scatter", "bar"):
+            raise ValueError(f"unknown plot kind {self.kind!r}; known: line, scatter, bar")
+        if not self.ys:
+            raise ValueError(f"plot {self.name!r} declares no y series")
+
+
+@dataclass(frozen=True)
 class Scenario:
     """A registered experiment scenario."""
 
@@ -64,8 +98,12 @@ class Scenario:
     #: fixed axes).  ``run NAME`` with no --set sweeps this grid.
     default_grid: dict[str, list] = field(default_factory=dict)
     tags: tuple[str, ...] = ()
+    #: Declarative report charts rendered by ``report --html`` (pages fall
+    #: back to a synthesised default plot when empty).
+    plots: tuple[PlotSpec, ...] = ()
 
     def spec(self, name: str) -> ParamSpec:
+        """Look up one :class:`ParamSpec` by name (KeyError if undeclared)."""
         for p in self.params:
             if p.name == name:
                 return p
@@ -86,6 +124,7 @@ class Scenario:
         return resolved
 
     def run(self, params: dict[str, Any], seed: int) -> dict:
+        """Execute the scenario function on fully-resolved params."""
         return self.fn(seed=seed, **params)
 
 
@@ -100,8 +139,14 @@ def scenario(
     version: str = "1",
     default_grid: dict[str, list] | None = None,
     tags: tuple[str, ...] = (),
+    plots: tuple[PlotSpec, ...] | list[PlotSpec] = (),
 ) -> Callable[[Callable[..., dict]], Callable[..., dict]]:
-    """Decorator registering ``fn(*, seed, **params) -> dict`` as a scenario."""
+    """Decorator registering ``fn(*, seed, **params) -> dict`` as a scenario.
+
+    ``plots`` declares the charts the HTML report renders for this
+    scenario's stored records (see :class:`PlotSpec`); scenarios without
+    specs get a synthesised default plot.
+    """
 
     def decorate(fn: Callable[..., dict]) -> Callable[..., dict]:
         if name in _REGISTRY and _REGISTRY[name].fn is not fn:
@@ -120,6 +165,7 @@ def scenario(
             version=version,
             default_grid=grid,
             tags=tuple(tags),
+            plots=tuple(plots),
         )
         return fn
 
@@ -133,6 +179,7 @@ def load_builtin_scenarios(extra_modules: tuple[str, ...] = ()) -> None:
 
 
 def get_scenario(name: str) -> Scenario:
+    """Resolve a scenario by name, importing the built-in modules if needed."""
     if name not in _REGISTRY:
         load_builtin_scenarios()
     if name not in _REGISTRY:
@@ -143,5 +190,6 @@ def get_scenario(name: str) -> Scenario:
 
 
 def list_scenarios() -> list[Scenario]:
+    """Every registered scenario, sorted by name (built-ins loaded first)."""
     load_builtin_scenarios()
     return [_REGISTRY[name] for name in sorted(_REGISTRY)]

@@ -36,7 +36,7 @@ from repro.core.nonlocal_games import chsh_game
 from repro.core.server_model import StructuredServerProtocol, two_party_simulation_of_server
 from repro.core.simulation_theorem import SimulationTheoremNetwork
 from repro.congest.engine import Engine, get_engine
-from repro.experiments.registry import ParamSpec, scenario
+from repro.experiments.registry import ParamSpec, PlotSpec, scenario
 from repro.graphs.generators import (
     matching_pair_for_cycles,
     random_connected_graph,
@@ -103,6 +103,28 @@ def _fig3_graph(
     ],
     default_grid={"aspect_ratio": [2.0, 32.0, 256.0, 1024.0, 8192.0]},
     tags=("mst", "congest", "fig3"),
+    plots=(
+        PlotSpec(
+            name="rounds-vs-w",
+            title="Fig. 3 — MST rounds vs aspect ratio W",
+            x="W",
+            ys=("elkin_rounds", "gkp_rounds", "combined_rounds"),
+            logx=True,
+            logy=True,
+            x_label="aspect ratio W",
+            y_label="CONGEST rounds",
+        ),
+        PlotSpec(
+            name="bounds-vs-w",
+            title="Fig. 3 — measured rounds against the closed-form bounds",
+            x="W",
+            ys=("combined_rounds", "formula_lower_bound", "formula_upper_bound"),
+            logx=True,
+            logy=True,
+            x_label="aspect ratio W",
+            y_label="rounds / bound value",
+        ),
+    ),
 )
 def fig3_mst_tradeoff(
     *,
@@ -116,6 +138,16 @@ def fig3_mst_tradeoff(
     engine: str,
     engine_threads: int,
 ) -> dict:
+    """The paper's headline trade-off (Fig. 3): rounds vs aspect ratio W.
+
+    Runs both MST algorithms live on the same seeded CONGEST instance --
+    the Elkin-mode staged flood (approximation factor ``alpha``) and the
+    exact GKP algorithm -- and compares the measured round counts with the
+    closed-form curve of ``fig3_curve``.  Result keys: ``W``,
+    ``elkin_rounds``, ``gkp_rounds``, ``combined_rounds`` (the better of
+    the two, the paper's upper envelope), ``formula_lower_bound`` and
+    ``formula_upper_bound``.
+    """
     w = aspect_ratio
     graph = _fig3_graph(seed, n, aspect_ratio, extra_edge_prob, graph_seed)
 
@@ -145,6 +177,29 @@ def fig3_mst_tradeoff(
     ],
     default_grid={},
     tags=("congest", "engine", "perf"),
+    plots=(
+        PlotSpec(
+            name="engine-seconds",
+            title="Engine wall-clock on the Fig. 3 point",
+            x="W",
+            ys=("dense_seconds", "event_seconds"),
+            kind="scatter",
+            logx=True,
+            logy=True,
+            x_label="aspect ratio W",
+            y_label="seconds",
+        ),
+        PlotSpec(
+            name="engine-speedup",
+            title="Event-engine speedup over the dense reference",
+            x="W",
+            ys=("speedup",),
+            kind="scatter",
+            logx=True,
+            x_label="aspect ratio W",
+            y_label="x faster",
+        ),
+    ),
 )
 def fig3_engine_speedup(
     *,
@@ -156,7 +211,14 @@ def fig3_engine_speedup(
     extra_edge_prob: float,
     graph_seed: int,
 ) -> dict:
-    """Run the same grid point on both engines; results must agree exactly."""
+    """Run the same grid point on both engines; results must agree exactly.
+
+    Times the dense reference engine against the event-driven default on
+    one Fig. 3 instance (Elkin + GKP back to back) and cross-checks that
+    every run metric matches.  Result keys: ``W``, ``elkin_rounds``,
+    ``gkp_rounds``, ``dense_seconds``, ``event_seconds``, ``speedup`` and
+    the ``engines_agree`` verdict.
+    """
     import time
 
     graph = _fig3_graph(seed, n, aspect_ratio, extra_edge_prob, graph_seed)
@@ -196,10 +258,42 @@ def fig3_engine_speedup(
     ],
     default_grid={"b": [16, 64, 256]},
     tags=("disjointness", "quantum", "congest"),
+    plots=(
+        PlotSpec(
+            name="rounds-vs-b",
+            title="Example 1.1 — Disjointness rounds, classical vs quantum",
+            x="b",
+            ys=("classical_rounds", "quantum_rounds"),
+            logx=True,
+            logy=True,
+            x_label="instance size b",
+            y_label="CONGEST rounds",
+        ),
+        PlotSpec(
+            name="grover-queries",
+            title="Example 1.1 — distributed Grover query count",
+            x="b",
+            ys=("grover_queries",),
+            kind="scatter",
+            logx=True,
+            logy=True,
+            x_label="instance size b",
+            y_label="oracle queries",
+        ),
+    ),
 )
 def example11_disjointness(
     *, seed: int, b: int, bandwidth: int, clique_size: int, path_length: int, instance_seed: int
 ) -> dict:
+    """The paper's Example 1.1: quantum advantage for Disjointness.
+
+    Solves a disjoint ``b``-bit instance between the two clique endpoints
+    of a dumbbell graph, classically (bit exchange) and quantumly
+    (distributed Grover over teleported queries), on live CONGEST
+    networks.  Result keys: ``b``, ``classical_rounds``,
+    ``quantum_rounds``, ``grover_queries`` and both verdicts (which must
+    say "disjoint").
+    """
     graph = dumbbell_graph(clique_size, path_length)
     u, v = ("L", 1), ("R", 1)
     # A non-negative instance_seed pins the (x, y) instance across an axis
@@ -234,8 +328,28 @@ def example11_disjointness(
     ],
     default_grid={"n": [1_000, 10_000, 100_000]},
     tags=("bounds", "fig2"),
+    plots=(
+        PlotSpec(
+            name="bounds-vs-n",
+            title="Fig. 2 — new lower bounds vs network size",
+            x="n",
+            ys=("verification_bound", "optimization_bound"),
+            logx=True,
+            logy=True,
+            x_label="network size n",
+            y_label="quantum round lower bound",
+        ),
+    ),
 )
 def fig2_bound_table(*, seed: int, n: int, bandwidth: int, aspect_ratio: float, alpha: float) -> dict:
+    """The Fig. 2 table: previous vs new quantum lower bounds, evaluated.
+
+    Instantiates every row of the paper's bound table (verification and
+    optimization problems) at concrete ``(n, B, W, alpha)`` via
+    ``fig2_table``.  Result keys: ``n``, ``n_rows``, the headline
+    ``verification_bound`` and ``optimization_bound``, and ``rows`` (the
+    full problem/category/previous/new listing).
+    """
     rows = fig2_table(n, bandwidth, aspect_ratio=aspect_ratio, alpha=alpha)
     return {
         "n": n,
@@ -263,8 +377,27 @@ def fig2_bound_table(*, seed: int, n: int, bandwidth: int, aspect_ratio: float, 
     ],
     default_grid={"n_rounds": [2, 8, 32]},
     tags=("server-model", "bounds"),
+    plots=(
+        PlotSpec(
+            name="bits-vs-rounds",
+            title="Server model — player bits, direct vs two-party simulation",
+            x="n_rounds",
+            ys=("server_player_bits", "two_party_bits"),
+            logx=True,
+            x_label="protocol rounds",
+            y_label="player communication (bits)",
+        ),
+    ),
 )
 def server_model_equivalence(*, seed: int, n_rounds: int, input_bits: int) -> dict:
+    """Section 3.1: simulating a structured Server protocol costs nothing.
+
+    Runs a streamed-XOR Server-model protocol directly and through the
+    two-party simulation, asserting bit-for-bit cost equality and output
+    agreement.  Result keys: ``n_rounds``, ``server_player_bits``,
+    ``two_party_bits``, the ``cost_exact`` / ``outputs_match`` verdicts
+    and the Gap-Eq server-model lower bound for context.
+    """
     rng = random.Random(seed)
     x = tuple(rng.randrange(2) for _ in range(input_bits))
     y = tuple(rng.randrange(2) for _ in range(input_bits))
@@ -313,10 +446,30 @@ def server_model_equivalence(*, seed: int, n_rounds: int, input_bits: int) -> di
     ],
     default_grid={"problem": ["spanning tree", "connectivity", "bipartiteness"]},
     tags=("verification", "congest"),
+    plots=(
+        PlotSpec(
+            name="cost-by-problem",
+            title="Verification cost by problem",
+            x="problem",
+            ys=("rounds", "total_bits"),
+            kind="bar",
+            logy=True,
+            x_label="verifier",
+            y_label="rounds / bits (log)",
+        ),
+    ),
 )
 def verification_suite(
     *, seed: int, problem: str, n: int, extra_edge_prob: float, bandwidth: int
 ) -> dict:
+    """Corollary 3.7's verification problems run on a live network.
+
+    Builds a random connected graph, takes its BFS tree as the candidate
+    subgraph ``M`` and runs the named distributed verifier over CONGEST.
+    Result keys: ``problem``, the ``verdict`` (True for a genuine
+    spanning structure), ``rounds``, ``total_bits`` and
+    ``total_messages``.
+    """
     graph = random_connected_graph(n, extra_edge_prob=extra_edge_prob, seed=seed)
     tree = nx.bfs_tree(graph, source=min(graph.nodes())).to_undirected()
     m_edges = list(tree.edges())
@@ -346,8 +499,34 @@ def verification_suite(
     ],
     default_grid={"restarts": [1, 2, 4, 8]},
     tags=("gamma2", "nonlocal-games"),
+    plots=(
+        PlotSpec(
+            name="error-vs-restarts",
+            title="CHSH — solver error vs restarts",
+            x="restarts",
+            ys=("abs_error",),
+            logy=True,
+            x_label="random restarts",
+            y_label="|bias - 1/sqrt(2)|",
+        ),
+        PlotSpec(
+            name="bias-vs-restarts",
+            title="CHSH — achieved bias vs the Tsirelson and classical values",
+            x="restarts",
+            ys=("bias", "target", "classical_bias"),
+            x_label="random restarts",
+            y_label="game bias",
+        ),
+    ),
 )
 def chsh_gamma2(*, seed: int, restarts: int, iterations: int, solver_seed: int) -> dict:
+    """Section 6's gamma_2^* machinery on CHSH: solver accuracy sweep.
+
+    The alternating Tsirelson-bound solver should approach the quantum
+    bias 1/sqrt(2) as restarts grow (and must beat the classical bias
+    3/4 - 1/2 scale).  Result keys: ``restarts``, ``bias``,
+    ``classical_bias``, the ``target`` value and ``abs_error``.
+    """
     game = chsh_game()
     target = 1.0 / math.sqrt(2.0)
     # A fixed solver_seed makes the bias monotone in restarts (the solver
@@ -379,10 +558,28 @@ def chsh_gamma2(*, seed: int, restarts: int, iterations: int, solver_seed: int) 
     ],
     default_grid={"cap": [3, 6, 10, 20, 40]},
     tags=("mst", "ablation"),
+    plots=(
+        PlotSpec(
+            name="rounds-vs-cap",
+            title="GKP — rounds vs Phase A fragment cap",
+            x="cap",
+            ys=("rounds",),
+            logx=True,
+            x_label="fragment-size cap",
+            y_label="CONGEST rounds",
+        ),
+    ),
 )
 def gkp_cap_ablation(
     *, seed: int, n: int, cap: int, bandwidth: int, extra_edge_prob: float, graph_seed: int
 ) -> dict:
+    """Ablation of GKP's Phase A fragment-size cap (paper picks sqrt(n)).
+
+    Sweeps the cap on one fixed weighted instance; the returned tree must
+    stay exact for every cap while the round count traces the Phase A /
+    Phase B balance.  Result keys: ``cap``, ``rounds``, ``tree_weight``,
+    ``reference_weight`` and the ``exact`` verdict.
+    """
     graph = _weighted_graph(n, extra_edge_prob, graph_seed, weight_seed=graph_seed + 1)
     reference = sum(
         d["weight"] for _, _, d in nx.minimum_spanning_tree(graph).edges(data=True)
@@ -425,10 +622,32 @@ class _ChatterProgram(NodeProgram):
     ],
     default_grid={"length": [9, 17, 33, 65]},
     tags=("simulation-theorem", "congest", "figs8-13"),
+    plots=(
+        PlotSpec(
+            name="cost-vs-length",
+            title="Simulation theorem — three-party cost vs highway length",
+            x="length",
+            ys=("rounds", "player_bits", "server_bits"),
+            logx=True,
+            logy=True,
+            x_label="highway length L",
+            y_label="rounds / bits",
+        ),
+    ),
 )
 def simulation_theorem(
     *, seed: int, length: int, n_paths: int, bandwidth: int, n_cycles: int
 ) -> dict:
+    """Theorem 3.5 measured on the N(Gamma, L) highway network.
+
+    Simulates a worst-case all-edges chatter program for the full valid
+    horizon and checks the accounting against the 6kB-per-round budget,
+    the total bound, the logarithmic-diameter claim and (for even input
+    sizes) the Observation 8.1 cycle embedding.  Result keys: ``length``,
+    ``nodes``, ``diameter``, ``rounds``, ``player_bits``, ``server_bits``,
+    ``per_round_bound`` and the ``within_*`` / ``diameter_logarithmic`` /
+    ``observation_8_1`` verdicts.
+    """
     net = SimulationTheoremNetwork(n_paths, length)
     horizon = net.schedule.valid_horizon()
     accounting = net.simulate(lambda: _ChatterProgram(horizon), bandwidth=bandwidth)
@@ -473,6 +692,27 @@ def simulation_theorem(
     ],
     default_grid={"n": [30, 60, 120]},
     tags=("spanner", "skeleton", "congest", "elkin-matar"),
+    plots=(
+        PlotSpec(
+            name="size-vs-n",
+            title="Spanner size vs the linear-size budget",
+            x="n",
+            ys=("spanner_edges", "m"),
+            logx=True,
+            logy=True,
+            x_label="network size n",
+            y_label="edges",
+        ),
+        PlotSpec(
+            name="quiet-fraction",
+            title="Event-engine quiet fraction of the dense schedule",
+            x="n",
+            ys=("quiet_fraction",),
+            logx=True,
+            x_label="network size n",
+            y_label="fraction of n x rounds skipped",
+        ),
+    ),
 )
 def spanner_skeleton(
     *,
@@ -601,6 +841,30 @@ def _boruvka_instance(
         "weight_model": ["distinct", "euclidean"],
     },
     tags=("mst", "boruvka", "congest", "networkbuild"),
+    plots=(
+        PlotSpec(
+            name="exactness",
+            title="Borůvka exactness — distributed vs centralised MST weight",
+            x="reference_weight",
+            ys=("tree_weight",),
+            kind="scatter",
+            logx=True,
+            logy=True,
+            group_by="generator",
+            x_label="centralised MST weight",
+            y_label="distributed Borůvka weight",
+        ),
+        PlotSpec(
+            name="rounds-by-topology",
+            title="Borůvka rounds by topology and weight model",
+            x="generator",
+            ys=("rounds",),
+            kind="bar",
+            group_by="weight_model",
+            x_label="topology family",
+            y_label="CONGEST rounds",
+        ),
+    ),
 )
 def boruvka_mst_sweep(
     *,
@@ -656,8 +920,38 @@ def boruvka_mst_sweep(
     ],
     default_grid={"n": [8, 32, 128, 512]},
     tags=("gadgets", "reductions", "figs4-7"),
+    plots=(
+        PlotSpec(
+            name="blowup-vs-n",
+            title="Gadget reductions — node blowup factor vs input size",
+            x="n",
+            ys=("ipmod3_blowup", "gap_eq_blowup"),
+            logx=True,
+            x_label="input bits n",
+            y_label="gadget nodes per input bit",
+        ),
+        PlotSpec(
+            name="far-cycles",
+            title="Gap structure — cycles on far instances vs input size",
+            x="n",
+            ys=("far_instance_cycles",),
+            logx=True,
+            logy=True,
+            x_label="input bits n",
+            y_label="Hamiltonian-cycle count",
+        ),
+    ),
 )
 def gadget_reductions(*, seed: int, n: int, trials: int, beta: float) -> dict:
+    """Section 7's gadget reductions, soundness-checked on random inputs.
+
+    Exercises the IPmod3 -> Hamiltonicity and Gap-Eq -> Gap-Ham gadget
+    constructions: a reduction is *sound* when the gadget graph is
+    Hamiltonian exactly for yes-instances, and far Gap-Eq instances must
+    shatter into Omega(n) cycles.  Result keys: ``n``, the
+    ``ipmod3_sound`` / ``gap_eq_sound`` / ``far_cycles_linear`` verdicts,
+    the gadget sizes and their per-input-bit ``*_blowup`` factors.
+    """
     rng = random.Random(seed)
     ip_sound = 0
     for _ in range(trials):
@@ -713,8 +1007,28 @@ def gadget_reductions(*, seed: int, n: int, trials: int, beta: float) -> dict:
     ],
     default_grid={"check": ["teleportation", "holevo", "fingerprint", "grover"]},
     tags=("quantum", "substrate"),
+    plots=(
+        PlotSpec(
+            name="metric-by-check",
+            title="Quantum substrate — validation metric per check",
+            x="check",
+            ys=("metric",),
+            kind="bar",
+            x_label="substrate check",
+            y_label="check-specific metric",
+        ),
+    ),
 )
 def quantum_substrate(*, seed: int, check: str, trials: int, size: int) -> dict:
+    """Validation sweeps over the statevector quantum substrate.
+
+    One check per grid point: teleportation fidelity (metric = worst
+    fidelity, must be ~1), the Holevo bound on 4-state ensembles (metric
+    = worst margin, must be >= 0), fingerprint qubit growth (metric =
+    qubits, must be O(log n)) and Grover query scaling (metric = queries,
+    must be O(sqrt n)).  Result keys: ``check``, ``metric`` and the
+    ``passed`` verdict.
+    """
     import numpy as np
 
     from repro.quantum.fingerprint import FingerprintEquality

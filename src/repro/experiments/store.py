@@ -76,6 +76,7 @@ class ResultRecord:
     meta: dict = field(default_factory=dict)
 
     def to_json(self) -> str:
+        """Serialise to the stored JSON form (sorted keys, indented)."""
         # Strict by design: a `default=repr` fallback would silently
         # stringify a non-serializable result, so a cached replay would
         # return a different payload than the fresh run.  Backends validate
@@ -85,6 +86,7 @@ class ResultRecord:
 
     @classmethod
     def from_json(cls, text: str) -> "ResultRecord":
+        """Parse a stored record, ignoring unknown fields (forward compat)."""
         data = json.loads(text)
         known = {f for f in cls.__dataclass_fields__}
         return cls(**{k: v for k, v in data.items() if k in known})
@@ -100,21 +102,27 @@ class ResultStore:
         return self.root / scenario_name / f"{key}.json"
 
     def has(self, scenario_name: str, key: str) -> bool:
+        """Whether a record exists for this (scenario, cache key)."""
         return self._path(scenario_name, key).is_file()
 
     def get(self, scenario_name: str, key: str) -> ResultRecord | None:
+        """Load one record by cache key, or None when absent."""
         path = self._path(scenario_name, key)
         if not path.is_file():
             return None
         return ResultRecord.from_json(path.read_text())
 
     def put(self, record: ResultRecord) -> Path:
+        """Persist a record atomically; returns the file it landed in."""
         path = self._path(record.scenario, record.key)
         path.parent.mkdir(parents=True, exist_ok=True)
         atomic_write_text(path, record.to_json())
         return path
 
     def iter_records(self, scenario_name: str | None = None) -> Iterator[ResultRecord]:
+        """Yield stored records in deterministic (scenario, key) order,
+        optionally restricted to one scenario.  A missing root or scenario
+        directory yields nothing -- an empty store is not an error."""
         if not self.root.is_dir():
             return
         dirs = (
@@ -129,6 +137,7 @@ class ResultStore:
                 yield ResultRecord.from_json(path.read_text())
 
     def count(self, scenario_name: str | None = None) -> int:
+        """Number of stored records (optionally for one scenario)."""
         return sum(1 for _ in self.iter_records(scenario_name))
 
     def merge(self, other: "ResultStore | str | os.PathLike", overwrite: bool = False) -> int:

@@ -27,6 +27,7 @@ def canonical_json(obj: Any) -> str:
 
 
 def derive_seed(scenario_name: str, params: dict[str, Any], replicate: int, base_seed: int) -> int:
+    """The point's reproducible seed: sha256 over its full identity."""
     digest = hashlib.sha256(
         canonical_json(
             {
