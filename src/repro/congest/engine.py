@@ -38,6 +38,7 @@ from __future__ import annotations
 import heapq
 import os
 import sys
+import time
 from concurrent.futures import ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Hashable, Sequence
@@ -111,9 +112,22 @@ def step_batch(
 
 
 class Engine:
-    """Steps node programs against the transport clock."""
+    """Steps node programs against the transport clock.
+
+    Engines are instrumented for :mod:`repro.obs`: hot paths sample one
+    ``round`` trace line per executed round (gated on
+    ``network.trace.enabled``, so the no-op tracer costs one attribute read
+    per round), and :meth:`_result` reports every run's headline metrics
+    through :meth:`repro.obs.trace.Tracer.run_summary` unconditionally --
+    that once-per-run call is how sweep outcomes learn engine round/skip
+    counts even with tracing off.
+    """
 
     name = "abstract"
+    #: ``on_round`` calls made (all engines) / quiet rounds jumped in O(1)
+    #: (event-clock engines; always 0 for the dense engine).
+    node_steps = 0
+    skipped_rounds = 0
 
     def run(self, network: "CongestNetwork", max_rounds: int, stop_on_quiescence: bool) -> RunResult:
         raise NotImplementedError
@@ -122,24 +136,43 @@ class Engine:
         """Run one round's step phase; subclasses may shard or batch it."""
         step_batch(network, plan)
 
-    @staticmethod
-    def _result(network: "CongestNetwork", rounds: int) -> RunResult:
+    def _result(self, network: "CongestNetwork", rounds: int) -> RunResult:
         transport = network.transport
+        halted = all(node.halted for node in network.nodes.values())
+        network.trace.run_summary(
+            engine=self.name,
+            rounds=rounds,
+            skipped_rounds=self.skipped_rounds,
+            node_steps=self.node_steps,
+            total_bits=transport.total_bits,
+            total_msgs=transport.total_messages,
+            halted=halted,
+        )
         return RunResult(
             rounds=rounds,
             total_messages=transport.total_messages,
             total_bits=transport.total_bits,
             outputs={nid: node.output for nid, node in network.nodes.items()},
-            halted=all(node.halted for node in network.nodes.values()),
+            halted=halted,
             max_edge_bits_per_round=transport.max_edge_bits_per_round,
             per_round_bits=transport.per_round_bits,
         )
 
     @staticmethod
     def _start(network: "CongestNetwork") -> None:
+        transport = network.transport
+        trace = network.trace
+        if trace.enabled:
+            pre_msgs, pre_bits = transport.total_messages, transport.total_bits
         for node_id, program in network.programs.items():
             program.on_start(network.nodes[node_id])
-        network.transport.flush()
+        transport.flush()
+        if trace.enabled:
+            trace.event(
+                "start",
+                sent_msgs=transport.total_messages - pre_msgs,
+                sent_bits=transport.total_bits - pre_bits,
+            )
 
 
 class DenseEngine(Engine):
@@ -147,8 +180,16 @@ class DenseEngine(Engine):
 
     name = "dense"
 
+    def __init__(self) -> None:
+        self.node_steps = 0
+
+    def _execute_plan(self, network: "CongestNetwork", plan: StepPlan) -> None:
+        self.node_steps += step_batch(network, plan)
+
     def run(self, network: "CongestNetwork", max_rounds: int, stop_on_quiescence: bool) -> RunResult:
         transport = network.transport
+        trace = network.trace
+        tracing = trace.enabled
         self._start(network)
 
         round_no = 0
@@ -167,6 +208,8 @@ class DenseEngine(Engine):
                 break
             round_no += 1
             network.current_round = round_no
+            if tracing:
+                pre_msgs, pre_bits = transport.total_messages, transport.total_bits
             inboxes = transport.deliver_round()
             plan = StepPlan(
                 round_no,
@@ -175,6 +218,16 @@ class DenseEngine(Engine):
             )
             self._execute_plan(network, plan)
             transport.flush()
+            if tracing:
+                trace.emit(
+                    "round",
+                    round=round_no,
+                    active=len(plan.node_ids),
+                    delivered=sum(len(msgs) for msgs in inboxes.values()),
+                    moved_bits=transport.per_round_bits[-1],
+                    sent_msgs=transport.total_messages - pre_msgs,
+                    sent_bits=transport.total_bits - pre_bits,
+                )
 
         return self._result(network, round_no)
 
@@ -189,20 +242,32 @@ class EventEngine(Engine):
     so interleavings match the dense engine exactly -- only the nodes that
     received something or asked to be woken.
 
-    ``node_steps`` counts ``on_round`` calls for introspection; on mostly
-    quiet workloads it is far below the dense engine's ``n x rounds``.
+    ``node_steps`` counts ``on_round`` calls and ``skipped_rounds`` the
+    quiet rounds jumped in O(1), both for introspection; on mostly quiet
+    workloads ``node_steps`` is far below the dense engine's ``n x rounds``.
     """
 
     name = "event"
 
     def __init__(self) -> None:
         self.node_steps = 0
+        self.skipped_rounds = 0
 
     def _execute_plan(self, network: "CongestNetwork", plan: StepPlan) -> None:
         self.node_steps += step_batch(network, plan)
 
+    def _skip(self, network: "CongestNetwork", after_round: int, rounds: int) -> None:
+        """Jump ``rounds`` quiet rounds, counting and tracing the stretch."""
+        moved = network.transport.skip_rounds(rounds)
+        self.skipped_rounds += rounds
+        trace = network.trace
+        if trace.enabled:
+            trace.emit("skip", after_round=after_round, rounds=rounds, moved_bits=moved)
+
     def run(self, network: "CongestNetwork", max_rounds: int, stop_on_quiescence: bool) -> RunResult:
         transport = network.transport
+        trace = network.trace
+        tracing = trace.enabled
         self._start(network)
 
         order = {nid: i for i, nid in enumerate(network.nodes)}
@@ -253,7 +318,7 @@ class EventEngine(Engine):
                 target = round_no + 1
             elif delivery_round is None and program_round is None:
                 # Nothing will ever happen again: idle out the clock.
-                transport.skip_rounds(max_rounds - round_no)
+                self._skip(network, round_no, max_rounds - round_no)
                 round_no = max_rounds
                 break
             else:
@@ -261,14 +326,16 @@ class EventEngine(Engine):
                 target = min(candidates)
 
             if target > max_rounds:
-                transport.skip_rounds(max_rounds - round_no)
+                self._skip(network, round_no, max_rounds - round_no)
                 round_no = max_rounds
                 break
             if target > round_no + 1:
-                transport.skip_rounds(target - round_no - 1)
+                self._skip(network, round_no, target - round_no - 1)
             round_no = target
             network.current_round = round_no
 
+            if tracing:
+                pre_msgs, pre_bits = transport.total_messages, transport.total_bits
             inboxes = transport.deliver_round()
             step = set(inboxes)
             while heap and heap[0][0] <= round_no:
@@ -294,6 +361,16 @@ class EventEngine(Engine):
                 else:
                     schedule(nid, round_no)
             transport.flush()
+            if tracing:
+                trace.emit(
+                    "round",
+                    round=round_no,
+                    active=len(plan.node_ids),
+                    delivered=sum(len(msgs) for msgs in inboxes.values()),
+                    moved_bits=transport.per_round_bits[-1],
+                    sent_msgs=transport.total_messages - pre_msgs,
+                    sent_bits=transport.total_bits - pre_bits,
+                )
 
         return self._result(network, round_no)
 
@@ -358,6 +435,8 @@ class ParallelEngine(EventEngine):
         if pool is None or len(ids) < self.min_parallel_nodes:
             self.node_steps += step_batch(network, plan)
             return
+        trace = network.trace
+        tracing = trace.enabled
         shard_size = -(-len(ids) // self.threads)  # ceil: at most `threads` shards
         shards = [ids[i : i + shard_size] for i in range(0, len(ids), shard_size)]
         transport = network.transport
@@ -366,10 +445,11 @@ class ParallelEngine(EventEngine):
             # The calling thread works shard 0 itself instead of blocking on
             # the pool -- one fewer dispatch round-trip per round.
             futures = [
-                pool.submit(self._step_shard, network, plan, shard) for shard in shards[1:]
+                pool.submit(self._step_shard, network, plan, shard, tracing)
+                for shard in shards[1:]
             ]
             try:
-                first = self._step_shard(network, plan, shards[0])
+                first = self._step_shard(network, plan, shards[0], tracing)
             finally:
                 # Barrier: every shard must have stopped touching the
                 # transport before staging ends, even if one raised.
@@ -385,36 +465,52 @@ class ParallelEngine(EventEngine):
         # only an aborting run observes that, and only via node state.)
         merged = []
         error = None
-        for outbox, stepped, exc in results:
+        for outbox, stepped, exc, _ in results:
             merged.append((outbox, stepped))
             if exc is not None:
                 error = exc
                 break
+        merge_t0 = time.perf_counter() if tracing else 0.0
         transport.merge_shard_outboxes(box for box, _ in merged)
         self.node_steps += sum(stepped for _, stepped in merged)
+        if tracing:
+            trace.emit(
+                "event",
+                name="shard_round",
+                round=plan.round_no,
+                shards=len(shards),
+                shard_nodes=[len(shard) for shard in shards],
+                shard_s=[round(r[3], 6) for r in results],
+                merge_s=round(time.perf_counter() - merge_t0, 6),
+            )
         if error is not None:
             raise error
 
     @staticmethod
-    def _step_shard(network: "CongestNetwork", plan: StepPlan, shard: list[Hashable]):
+    def _step_shard(
+        network: "CongestNetwork", plan: StepPlan, shard: list[Hashable], timed: bool = False
+    ):
         """Step one shard behind a thread-local outbox.
 
         Failures are returned, not raised: the outbox must survive (it holds
         the sends staged before the failing node, which the serial engines
         would have counted) and the caller decides merge order and which
-        error wins.
+        error wins.  ``timed`` adds per-shard wall-clock (two clock reads);
+        it is passed only when the run is traced so the untraced hot path
+        stays clock-free.
         """
         transport = network.transport
         outbox = transport.open_shard_outbox()
         stepped = 0
         error: BaseException | None = None
+        t0 = time.perf_counter() if timed else 0.0
         try:
             stepped = step_batch(network, plan, shard)
         except BaseException as exc:  # noqa: BLE001 - re-raised by the caller
             error = exc
         finally:
             transport.close_shard_outbox()
-        return outbox, stepped, error
+        return outbox, stepped, error, (time.perf_counter() - t0 if timed else 0.0)
 
 
 _ENGINES = {"dense": DenseEngine, "event": EventEngine, "parallel": ParallelEngine}

@@ -42,6 +42,7 @@ import networkx as nx
 from repro.congest.engine import Engine, RunResult, get_engine
 from repro.congest.node import Node, NodeProgram
 from repro.congest.transport import BandwidthExceeded, LinkTransport
+from repro.obs.trace import Tracer, current_tracer
 
 __all__ = ["BandwidthExceeded", "CongestNetwork", "RunResult", "run_program"]
 
@@ -61,6 +62,7 @@ class CongestNetwork:
         engine: str | Engine = "event",
         engine_threads: int | None = None,
         record_messages: bool = False,
+        trace: Tracer | None = None,
     ):
         if graph.number_of_nodes() == 0:
             raise ValueError("network must have at least one node")
@@ -70,6 +72,10 @@ class CongestNetwork:
         self.bandwidth = bandwidth
         self.strict = strict
         self.weight_key = weight
+        # ``trace=None`` means "whatever tracer is ambient" (the null tracer
+        # unless a ``repro.obs.use_tracer`` block is active), so sweeps can
+        # trace scenario-internal networks without new plumbing.
+        self.trace = trace if trace is not None else current_tracer()
         self._rng = random.Random(seed)
         self.n_nodes = graph.number_of_nodes()
         self.transport = LinkTransport(bandwidth, strict=strict, record_messages=record_messages)
@@ -151,6 +157,7 @@ def run_program(
     engine: str | Engine = "event",
     engine_threads: int | None = None,
     record_messages: bool = False,
+    trace: Tracer | None = None,
 ) -> RunResult:
     """Convenience wrapper: build a network, run it, return the result."""
     network = CongestNetwork(
@@ -163,5 +170,6 @@ def run_program(
         engine=engine,
         engine_threads=engine_threads,
         record_messages=record_messages,
+        trace=trace,
     )
     return network.run(max_rounds=max_rounds)

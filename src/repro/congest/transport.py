@@ -215,7 +215,7 @@ class LinkTransport:
             -(-queue[0].remaining // bw) for queue in self._links.values()
         )
 
-    def skip_rounds(self, rounds: int) -> None:
+    def skip_rounds(self, rounds: int) -> int:
         """Account ``rounds`` quiet rounds (no deliveries) in one call.
 
         Callers must guarantee ``rounds < rounds_until_delivery()`` (or that
@@ -223,9 +223,12 @@ class LinkTransport:
         still has more than ``rounds * B`` bits remaining, so each busy link
         moves exactly ``B`` bits in each skipped round and no queue changes
         shape -- which is what makes the per-round metrics below exact.
+
+        Returns the total bits moved across the skipped stretch, so tracers
+        can attribute the stretch without re-deriving it from link state.
         """
         if rounds <= 0:
-            return
+            return 0
         bw = self.bandwidth
         moved = bw * rounds
         for queue in self._links.values():
@@ -240,8 +243,9 @@ class LinkTransport:
             if bw > self.max_edge_bits_per_round:
                 self.max_edge_bits_per_round = bw
             self.per_round_bits.extend([bw * len(self._links)] * rounds)
-        else:
-            self.per_round_bits.extend([0] * rounds)
+            return moved * len(self._links)
+        self.per_round_bits.extend([0] * rounds)
+        return 0
 
     # -- inspection ------------------------------------------------------------
 

@@ -11,13 +11,24 @@ grid order.
 Outcome dicts are the same shape everywhere (and must be JSON-serializable,
 since the work-queue backend ships them through files)::
 
-    {"status": "ok",      "result": {...}, "duration_s": 1.2}
-    {"status": "error",   "error": "<traceback>", "duration_s": 0.3}
+    {"status": "ok",      "result": {...}, "duration_s": 1.2, "meta": {...}}
+    {"status": "error",   "error": "<traceback>", "duration_s": 0.3, "meta": {...}}
     {"status": "timeout", "error": "...", "duration_s": 5.0}
+
+``meta`` is the uniform timing/engine block (see
+:class:`repro.obs.trace.RunMetaCollector`): every execution path fills it
+with wall-clock duration plus the engine round/skip/step counts of the
+CONGEST runs the point performed, so records carry the same schema whether
+they ran serially, in a pool worker or on a queue daemon.  (A worker-side
+``timeout`` outcome is synthesized by the watchdog, not by the task, so it
+has no ``meta``.)
 
 :func:`execute_point` is the single task-execution entry point shared by
 every backend (inline, pool worker, queue daemon), so a serial run is
-bit-identical to any distributed one.
+bit-identical to any distributed one.  When the ``REPRO_TRACE_DIR``
+environment variable names a directory (exported by
+``run --trace`` and inherited by every worker process), each execution
+also writes a per-task JSONL trace there.
 """
 
 from __future__ import annotations
@@ -34,6 +45,15 @@ from repro.experiments.registry import (
     load_builtin_scenarios,
 )
 from repro.experiments.sweep import SweepPoint
+from repro.obs.trace import (
+    RunMetaCollector,
+    TeeTracer,
+    Tracer,
+    TraceWriter,
+    task_trace_path,
+    trace_dir_from_env,
+    use_tracer,
+)
 
 
 @dataclass(frozen=True)
@@ -87,6 +107,11 @@ class ExecutionBackend:
     #: Registry name ("serial", "pool", "queue"); set by subclasses.
     name = "abstract"
 
+    #: Where backend-side telemetry (task lifecycle, lease reclaims, spool
+    #: depth) goes; the null tracer by default, assigned by ``run_sweep``
+    #: when the sweep is traced.
+    trace: Tracer = Tracer()
+
     #: True when submit() completes the task before returning (the runner
     #: then drains after every submit so progress streams per point;
     #: asynchronous backends are only drained from the collection loop).
@@ -117,12 +142,32 @@ def execute_point(
     JSON-serializable dicts: a payload that cannot round-trip through JSON
     would replay differently from cache than it ran fresh, so it is failed
     here, at the point of production, with a clear error.
+
+    Every outcome carries the uniform ``meta`` block (engine round/skip/step
+    counts via the ambient :class:`~repro.obs.trace.RunMetaCollector`); when
+    ``REPRO_TRACE_DIR`` is set, a per-task JSONL trace is written there too.
     """
     load_builtin_scenarios(tuple(m for m in scenario_modules if m not in BUILTIN_SCENARIO_MODULES))
+    collector = RunMetaCollector()
+    tracer: Tracer = collector
+    writer = None
+    trace_dir = trace_dir_from_env()
+    if trace_dir is not None:
+        try:
+            writer = TraceWriter(
+                task_trace_path(trace_dir, scenario_name, seed),
+                source="task",
+                scenario=scenario_name,
+                seed=seed,
+            )
+            tracer = TeeTracer(collector, writer)
+        except OSError:
+            writer = None  # an unwritable trace dir must never fail the task
     start = time.perf_counter()
     try:
-        scn = get_scenario(scenario_name)
-        result = scn.run(params, seed)
+        with use_tracer(tracer):
+            scn = get_scenario(scenario_name)
+            result = scn.run(params, seed)
         if not isinstance(result, dict):
             raise TypeError(
                 f"scenario {scenario_name!r} must return a dict, got {type(result).__name__}"
@@ -144,10 +189,22 @@ def execute_point(
                 f"a JSON round-trip (e.g. tuples or non-string dict keys); a cached "
                 f"replay would differ from the fresh run"
             )
-        return {"status": "ok", "result": result, "duration_s": time.perf_counter() - start}
+        outcome = {
+            "status": "ok",
+            "result": result,
+            "duration_s": time.perf_counter() - start,
+            "meta": collector.meta(),
+        }
     except Exception:
-        return {
+        outcome = {
             "status": "error",
             "error": traceback.format_exc(),
             "duration_s": time.perf_counter() - start,
+            "meta": collector.meta(),
         }
+    if writer is not None:
+        writer.event(
+            "task_result", status=outcome["status"], duration_s=outcome["duration_s"]
+        )
+        writer.close()
+    return outcome

@@ -49,6 +49,7 @@ class ProcessPoolBackend(ExecutionBackend):
         point = task.point
         self._tasks[task.index] = task
         self._submit_order.append(task.index)
+        self.trace.task("dispatched", task.index, backend=self.name)
         self._asyncs[task.index] = self._pool.apply_async(
             execute_point,
             (point.scenario, point.params, point.seed, task.scenario_modules),
@@ -98,6 +99,7 @@ class ProcessPoolBackend(ExecutionBackend):
                 self._timed_out = True
                 task = self._tasks.pop(idx)
                 self._asyncs.pop(idx)
+                self.trace.event("pool_timeout", index=idx, timeout_s=task.timeout)
                 batch.append(
                     (
                         task,

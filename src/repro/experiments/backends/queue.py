@@ -36,6 +36,7 @@ into a central store.
 from __future__ import annotations
 
 import json
+import logging
 import multiprocessing
 import os
 import subprocess
@@ -47,6 +48,11 @@ from typing import Callable
 
 from repro.experiments.backends.base import ExecutionBackend, Task, execute_point
 from repro.experiments.store import ResultRecord, ResultStore, atomic_write_text
+from repro.obs.trace import NULL_TRACER, TraceWriter, trace_dir_from_env
+
+#: Daemon/collector diagnostics; ``progress=`` callbacks override it, the
+#: CLI's ``--verbose/-q`` flags set its effective level.
+logger = logging.getLogger("repro.experiments.queue")
 
 #: How long (seconds) a claim may go without a heartbeat before the
 #: collector treats the daemon as dead and requeues the ticket.  Heartbeats
@@ -124,6 +130,7 @@ def record_from_ticket(ticket: dict, outcome: dict) -> ResultRecord:
         duration_s=outcome.get("duration_s", 0.0),
         scenario_version=ticket["scenario_version"],
         code_version=ticket["code_version"],
+        meta=outcome.get("meta") or {},
     )
 
 
@@ -277,12 +284,28 @@ def run_worker(
     With ``store``, every outcome is also persisted as a full
     ``ResultRecord`` in a local shard -- same cache keys as the submitting
     run, so ``ResultStore.merge`` integrates it later.
+
+    Diagnostics go to the ``repro.experiments.queue`` logger unless a
+    ``progress`` callback overrides them.  When ``REPRO_TRACE_DIR`` names a
+    directory, the daemon also writes a ``worker-<pid>`` JSONL trace there:
+    lease/run/done task lines plus watchdog-kill and requeue events.
     """
     if claim_batch < 1:
         raise ValueError("claim_batch must be at least 1")
     paths = QueuePaths(queue_dir)
     paths.ensure()
-    say = progress or (lambda _msg: None)
+    say = progress or logger.info
+    trace_dir = trace_dir_from_env()
+    tracer = NULL_TRACER
+    if trace_dir is not None:
+        try:
+            tracer = TraceWriter(
+                Path(trace_dir) / f"worker-{os.getpid()}.jsonl",
+                source="worker",
+                queue_dir=str(paths.root),
+            )
+        except OSError:
+            tracer = NULL_TRACER  # an unwritable trace dir never stops a daemon
     own_stop = None if stop_file is None else Path(stop_file)
 
     def stop_seen() -> bool:
@@ -310,6 +333,7 @@ def run_worker(
         """Hand an unexecuted claim back to the spool (stop mid-batch)."""
         if not owned(name, ticket):
             return
+        tracer.event("ticket_requeued", ticket=name)
         paths.heartbeat(name).unlink(missing_ok=True)
         try:
             os.rename(paths.claims / name, paths.tasks / name)
@@ -327,6 +351,9 @@ def run_worker(
             say(f"worker: stop sentinel seen after {n_done} task(s)")
             break
         batch = _claim_batch(paths, claim_batch)
+        if batch and tracer.enabled:
+            for name, ticket in batch:
+                tracer.task("leased", ticket.get("index", -1), ticket=name)
         if not batch:
             if max_idle is not None and time.monotonic() - last_work > max_idle:
                 say(f"worker: idle for {max_idle}s after {n_done} task(s)")
@@ -350,6 +377,7 @@ def run_worker(
                 say(f"worker: lease on {name} was reclaimed; skipping")
                 continue
             say(f"worker: claimed {name} ({ticket['scenario']} #{ticket['index']})")
+            tracer.task("running", ticket["index"], ticket=name, attempts=ticket.get("attempts", 0))
             outcome = _execute_with_watchdog(
                 ticket,
                 paths.heartbeat(name),
@@ -365,6 +393,18 @@ def run_worker(
             n_done += 1
             last_work = time.monotonic()
             say(f"worker: [{outcome['status']}] {name} ({outcome.get('duration_s', 0.0):.2f}s)")
+            tracer.task(
+                outcome["status"],
+                ticket["index"],
+                ticket=name,
+                duration_s=outcome.get("duration_s", 0.0),
+            )
+            if outcome["status"] == "timeout":
+                tracer.event(
+                    "watchdog_kill", ticket=name, timeout_s=ticket.get("timeout")
+                )
+    tracer.event("worker_exit", executed=n_done)
+    tracer.close()
     return n_done
 
 
@@ -442,6 +482,7 @@ class WorkQueueBackend(ExecutionBackend):
         name = ticket_name(task, self.nonce)
         _write_json_atomic(self.paths.tasks / name, ticket_payload(task))
         self._tasks[name] = task
+        self.trace.task("queued", task.index, ticket=name)
 
     def poll(self) -> list[tuple[Task, dict]]:
         """Collect results from the spool, requeueing stale-leased tickets."""
@@ -465,6 +506,10 @@ class WorkQueueBackend(ExecutionBackend):
     def _reclaim_dead_leases(self) -> None:
         """Requeue outstanding claims whose daemon stopped heartbeating."""
         now = time.time()
+        trace = self.trace
+        if trace.enabled:
+            trace.gauge("spool_outstanding", len(self._tasks))
+        max_age = 0.0
         for name in list(self._tasks):
             claim = self.paths.claims / name
             if not claim.exists():
@@ -474,13 +519,26 @@ class WorkQueueBackend(ExecutionBackend):
                 last = beat.stat().st_mtime if beat.exists() else claim.stat().st_mtime
             except FileNotFoundError:
                 continue  # completed (or requeued) between the checks
-            if now - last <= self.lease_timeout:
+            age = now - last
+            if age > max_age:
+                max_age = age
+            if age <= self.lease_timeout:
                 continue
             try:
                 ticket = json.loads(claim.read_text())
             except (OSError, json.JSONDecodeError):
                 continue
             ticket["attempts"] = ticket.get("attempts", 0) + 1
+            logger.warning(
+                "lease on %s stale for %.1fs (attempt %d/%d)",
+                name, age, ticket["attempts"], self.max_requeues,
+            )
+            trace.event(
+                "lease_reclaimed",
+                ticket=name,
+                heartbeat_age_s=round(age, 3),
+                attempts=ticket["attempts"],
+            )
             if ticket["attempts"] > self.max_requeues:
                 _write_json_atomic(
                     self.paths.results / name,
@@ -506,6 +564,8 @@ class WorkQueueBackend(ExecutionBackend):
                 beat.unlink(missing_ok=True)
                 _write_json_atomic(claim, ticket)
                 os.rename(claim, self.paths.tasks / name)
+        if trace.enabled and max_age:
+            trace.gauge("max_heartbeat_age_s", round(max_age, 3))
 
     def _check_daemons(self) -> list[tuple[Task, dict]]:
         """Fail outstanding tasks if every spawned daemon is gone.
@@ -533,6 +593,11 @@ class WorkQueueBackend(ExecutionBackend):
         # discarding work it would have picked up.
         if any(heartbeat_fresh(name) for name in self._tasks):
             return []
+        logger.error(
+            "all %d spawned queue workers exited (exit codes %s) with %d task(s) outstanding",
+            len(self._procs), codes, len(self._tasks),
+        )
+        self.trace.event("worker_fleet_dead", exit_codes=codes, outstanding=len(self._tasks))
         batch = []
         for name in list(self._tasks):
             landed = self.paths.results / name

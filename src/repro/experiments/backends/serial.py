@@ -26,6 +26,7 @@ class SerialBackend(ExecutionBackend):
                 "SerialBackend cannot enforce a per-task timeout on in-process "
                 "execution; use the pool or queue backend"
             )
+        self.trace.task("running", task.index, backend=self.name)
         outcome = execute_point(
             task.point.scenario, task.point.params, task.point.seed, task.scenario_modules
         )

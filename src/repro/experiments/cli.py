@@ -1,4 +1,4 @@
-"""``python -m repro.experiments`` -- list, run, report, worker, merge.
+"""``python -m repro.experiments`` -- list, run, report, worker, merge, trace.
 
 Examples::
 
@@ -13,12 +13,24 @@ Examples::
     python -m repro.experiments report fig3-mst-tradeoff
     python -m repro.experiments report --format json | jq '.[].result'
     python -m repro.experiments report --html report-site --bench 'BENCH_*.json'
+
+Telemetry (see ``docs/observability.md``)::
+
+    python -m repro.experiments run spanner-skeleton --trace traces/
+    python -m repro.experiments trace summarize traces/
+    python -m repro.experiments trace timeline traces/ --out timeline.html
+    python -m repro.experiments report --html report-site --trace traces/
+
+``-v``/``-q`` (repeatable, before the subcommand) raise or lower the
+verbosity of the harness's ``repro.*`` loggers.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import logging
+import os
 import sys
 from dataclasses import asdict
 from pathlib import Path
@@ -28,12 +40,47 @@ from repro.experiments.registry import ScenarioNotFound, get_scenario, list_scen
 from repro.experiments.runner import run_sweep
 from repro.experiments.store import DEFAULT_STORE, ResultStore
 from repro.experiments.sweep import expand_grid, parse_axis_overrides
+from repro.obs.trace import TRACE_DIR_ENV, TraceWriter, read_trace, summarize_trace, trace_files
+
+logger = logging.getLogger("repro.experiments.cli")
+
+
+def _configure_logging(verbose: int, quiet: int) -> None:
+    """Configure the ``repro.*`` logger namespace from ``-v``/``-q`` counts.
+
+    One switch for daemon telemetry and human logs: INFO by default (the
+    worker daemon's progress lines), DEBUG with ``-v``, WARNING and up
+    with ``-q``.  Installs a stderr handler only on the ``repro`` logger,
+    so embedding applications keep their own logging setup.
+    """
+    level = logging.INFO + 10 * (quiet - verbose)
+    level = max(logging.DEBUG, min(logging.CRITICAL, level))
+    root = logging.getLogger("repro")
+    handler = logging.StreamHandler()
+    handler.setFormatter(logging.Formatter("%(name)s: %(message)s"))
+    root.handlers[:] = [handler]
+    root.setLevel(level)
+    root.propagate = False
 
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Experiment harness: scenario registry, sweep runner, result store.",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="more diagnostics from repro.* loggers (repeatable)",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="count",
+        default=0,
+        help="fewer diagnostics from repro.* loggers (repeatable)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -99,6 +146,14 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="tickets a spawned queue daemon claims per spool scan (--backend queue)",
     )
+    run.add_argument(
+        "--trace",
+        dest="trace_dir",
+        metavar="DIR",
+        default=None,
+        help="write JSONL telemetry traces into DIR (a sweep trace plus one "
+        "per-task trace; workers inherit the switch via the environment)",
+    )
 
     report = sub.add_parser(
         "report", help="summarise stored records (text, json, or an HTML site)"
@@ -125,7 +180,34 @@ def _build_parser() -> argparse.ArgumentParser:
         default=[],
         metavar="GLOB",
         help="benchmark JSON files/globs (e.g. 'BENCH_*.json') charted on the "
-        "HTML index page; repeatable",
+        "HTML index page; repeatable (two or more files add a trends page)",
+    )
+    report.add_argument(
+        "--trace",
+        action="append",
+        default=[],
+        metavar="PATH",
+        help="JSONL trace files or directories rendered as a timeline page "
+        "in the HTML site; repeatable",
+    )
+
+    trace = sub.add_parser("trace", help="inspect JSONL telemetry traces")
+    trace.add_argument(
+        "action", choices=("summarize", "timeline"), help="what to do with the traces"
+    )
+    trace.add_argument(
+        "paths", nargs="+", help="trace files, or directories of *.jsonl traces"
+    )
+    trace.add_argument(
+        "--out",
+        default="timeline.html",
+        help="output HTML file for `timeline` (default ./timeline.html)",
+    )
+    trace.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="summary output format for `summarize`",
     )
 
     worker = sub.add_parser(
@@ -205,19 +287,42 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"sweep {scn.name}: {len(points)} point(s), backend={args.backend}, "
         f"workers={args.workers}, store={'<none>' if store is None else store.root}"
     )
-    report = run_sweep(
-        points,
-        store=store,
-        workers=args.workers,
-        task_timeout=args.timeout,
-        force=args.force,
-        progress=print,
-        mp_start_method=args.mp_start,
-        maxtasksperchild=args.maxtasksperchild,
-        backend=args.backend,
-        queue_dir=queue_dir,
-        claim_batch=args.claim_batch,
-    )
+    tracer = None
+    saved_env = os.environ.get(TRACE_DIR_ENV)
+    if args.trace_dir is not None:
+        trace_root = Path(args.trace_dir)
+        trace_root.mkdir(parents=True, exist_ok=True)
+        # The env var is how the switch reaches pool workers and queue
+        # daemons: they inherit the environment, and execute_point opens a
+        # per-task writer whenever it is set.
+        os.environ[TRACE_DIR_ENV] = str(trace_root)
+        tracer = TraceWriter(
+            trace_root / f"sweep-{scn.name}.jsonl", source="sweep", scenario=scn.name
+        )
+    try:
+        report = run_sweep(
+            points,
+            store=store,
+            workers=args.workers,
+            task_timeout=args.timeout,
+            force=args.force,
+            progress=print,
+            mp_start_method=args.mp_start,
+            maxtasksperchild=args.maxtasksperchild,
+            backend=args.backend,
+            queue_dir=queue_dir,
+            claim_batch=args.claim_batch,
+            trace=tracer,
+        )
+    finally:
+        if tracer is not None:
+            tracer.close()
+            print(f"traces: {args.trace_dir}")
+        if args.trace_dir is not None:
+            if saved_env is None:
+                os.environ.pop(TRACE_DIR_ENV, None)
+            else:
+                os.environ[TRACE_DIR_ENV] = saved_env
     print(
         f"done: {report.cached} cached, {report.executed} executed, {report.failed} failed"
     )
@@ -231,9 +336,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_worker(args: argparse.Namespace) -> int:
     shard = None if args.store is None else ResultStore(args.store)
-    print(
-        f"worker: draining {args.queue_dir}"
-        + (f", shard -> {shard.root}" if shard is not None else "")
+    logger.info(
+        "worker: draining %s%s",
+        args.queue_dir,
+        f", shard -> {shard.root}" if shard is not None else "",
     )
     n_done = run_worker(
         args.queue_dir,
@@ -241,11 +347,52 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         max_idle=args.max_idle,
         poll_interval=args.poll_interval,
         mp_start_method=args.mp_start,
-        progress=print,
         stop_file=args.stop_file,
         claim_batch=args.claim_batch,
     )
-    print(f"worker: executed {n_done} task(s)")
+    logger.info("worker: executed %d task(s)", n_done)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    files = [f for spec in args.paths for f in trace_files(spec)]
+    if not files:
+        print("no trace files found", file=sys.stderr)
+        return 1
+    if args.action == "timeline":
+        from repro.experiments.reporting.timeline import render_timeline_page
+
+        traces = [(f.name, read_trace(f)) for f in files]
+        out = Path(args.out)
+        out.write_text(render_timeline_page(traces), encoding="utf-8")
+        print(f"timeline: {out}")
+        return 0
+    summaries = {str(f): summarize_trace(read_trace(f)) for f in files}
+    if args.format == "json":
+        print(json.dumps(summaries, sort_keys=True, indent=2))
+        return 0
+    for name in sorted(summaries):
+        s = summaries[name]
+        print(f"== {name} ==")
+        print(
+            f"  source={s['source']} lines={s['lines']} "
+            f"rounds={s['rounds_sampled']} (+{s['rounds_skipped']} skipped)"
+        )
+        print(
+            f"  sent: {s['sent_messages']} msg / {s['sent_bits']} bits; "
+            f"moved: {s['moved_bits']} bits; node steps: {s['active_steps']}"
+        )
+        for run in s["runs"]:
+            print(
+                f"  run[{run['engine']}]: rounds={run['rounds']} "
+                f"skipped={run['skipped_rounds']} steps={run['node_steps']} "
+                f"bits={run['total_bits']} halted={run['halted']}"
+            )
+        for span, stat in s["spans"].items():
+            print(f"  span {span}: n={stat['count']} total={stat['total_s']:.4f}s")
+        if s["task_states"]:
+            states = ", ".join(f"{k}={v}" for k, v in s["task_states"].items())
+            print(f"  tasks: {states}")
     return 0
 
 
@@ -282,6 +429,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
             args.html_dir or "report-site",
             scenario=args.scenario,
             bench_paths=bench_paths,
+            trace_paths=list(args.trace),
         )
         print(f"report site: {index}")
         return 0
@@ -311,6 +459,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code (0 ok, 1 failed sweep/empty report, 2 usage)."""
     args = _build_parser().parse_args(argv)
+    _configure_logging(args.verbose, args.quiet)
     try:
         if args.command == "list":
             return _cmd_list()
@@ -320,6 +469,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_worker(args)
         if args.command == "merge":
             return _cmd_merge(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
         return _cmd_report(args)
     except BrokenPipeError:
         # Output piped into e.g. `head`; not an error.

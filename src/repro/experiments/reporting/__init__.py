@@ -20,6 +20,9 @@ Layers, bottom up:
   CSS, inline SVG, no scripts);
 - :mod:`~repro.experiments.reporting.site` -- :func:`build_site`, the
   directory-level assembly used by the CLI, CI and the example;
+- :mod:`~repro.experiments.reporting.timeline` /
+  :mod:`~repro.experiments.reporting.trends` -- telemetry pages: JSONL
+  trace timelines and the cross-``BENCH_*.json`` speedup history;
 - :mod:`~repro.experiments.reporting.docs` -- the generated-checked
   ``docs/scenarios.md`` catalog.
 """
@@ -37,19 +40,25 @@ from repro.experiments.reporting.svg import (
     render_bar_chart,
     render_plot,
 )
+from repro.experiments.reporting.timeline import load_traces, render_timeline_page
+from repro.experiments.reporting.trends import bench_history, render_trends_page
 
 __all__ = [
     "ScenarioReport",
     "Series",
+    "bench_history",
     "build_reports",
     "build_site",
     "builtin_scenarios",
     "extract_speedups",
+    "load_traces",
     "page_name",
     "plot_series",
     "render_bar_chart",
     "render_index",
     "render_plot",
     "render_scenario_page",
+    "render_timeline_page",
+    "render_trends_page",
     "scenarios_markdown",
 ]

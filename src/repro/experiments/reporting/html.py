@@ -201,9 +201,15 @@ def render_scenario_page(report: ScenarioReport) -> str:
 
 
 def render_index(
-    reports: list[ScenarioReport], bench_charts: list[str] | None = None
+    reports: list[ScenarioReport],
+    bench_charts: list[str] | None = None,
+    extra_pages: list[tuple[str, str]] | None = None,
 ) -> str:
-    """The cross-scenario index page, with optional benchmark charts."""
+    """The cross-scenario index page, with optional benchmark charts.
+
+    ``extra_pages`` are ``(href, label)`` links to companion pages the
+    site builder rendered alongside (trace timelines, benchmark trends).
+    """
     parts = ["<h1>Experiment report</h1>"]
     total = sum(r.total for r in reports)
     ok = sum(r.n_ok for r in reports)
@@ -235,6 +241,11 @@ def render_index(
         "<th>timeout</th><th>swept axes</th><th>description</th></tr></thead>"
         f"<tbody>{''.join(rows)}</tbody></table>"
     )
+    if extra_pages:
+        links = " · ".join(
+            f'<a href="{escape(href)}">{escape(label)}</a>' for href, label in extra_pages
+        )
+        parts.append(f"<p>Telemetry: {links}</p>")
     if bench_charts:
         parts.append("<h2>Benchmarks</h2>")
         parts.append('<div class="plots">')

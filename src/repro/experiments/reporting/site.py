@@ -85,6 +85,7 @@ def build_site(
     out_dir: str | Path,
     scenario: str | None = None,
     bench_paths: list[str | Path] | None = None,
+    trace_paths: list[str | Path] | None = None,
 ) -> Path:
     """Render the full HTML report site; returns the index page path.
 
@@ -92,6 +93,10 @@ def build_site(
     links only what was rendered).  Raises ``ValueError`` when the store
     holds no matching records -- an empty site would silently hide a
     mis-typed ``--store``.
+
+    ``trace_paths`` (JSONL trace files or directories of them) add a
+    ``timeline.html`` page; two or more ``bench_paths`` add a
+    ``trends.html`` history page -- both linked from the index.
     """
     records = list(store.iter_records(scenario))
     if not records:
@@ -104,6 +109,26 @@ def build_site(
     for report in reports:
         atomic_write_text(out / page_name(report.name), render_scenario_page(report))
     charts = bench_charts([Path(p) for p in (bench_paths or [])])
+    extra_pages: list[tuple[str, str]] = []
+    if trace_paths:
+        from repro.experiments.reporting.timeline import load_traces, render_timeline_page
+
+        traces = load_traces(list(trace_paths))
+        if traces:
+            atomic_write_text(
+                out / "timeline.html", render_timeline_page(traces, back_link=True)
+            )
+            extra_pages.append(("timeline.html", "trace timeline"))
+    if bench_paths and len(bench_paths) > 1:
+        from repro.experiments.reporting.trends import render_trends_page
+
+        atomic_write_text(
+            out / "trends.html",
+            render_trends_page([Path(p) for p in bench_paths], back_link=True),
+        )
+        extra_pages.append(("trends.html", "benchmark trends"))
     index = out / "index.html"
-    atomic_write_text(index, render_index(reports, bench_charts=charts))
+    atomic_write_text(
+        index, render_index(reports, bench_charts=charts, extra_pages=extra_pages)
+    )
     return index

@@ -27,6 +27,7 @@ from repro.experiments.backends import ExecutionBackend, Task, resolve_backend
 from repro.experiments.registry import get_scenario
 from repro.experiments.store import ResultRecord, ResultStore, cache_key
 from repro.experiments.sweep import SweepPoint
+from repro.obs.trace import Tracer, current_tracer
 
 
 @dataclass
@@ -61,6 +62,7 @@ def run_sweep(
     backend: str | ExecutionBackend = "auto",
     queue_dir: str | None = None,
     claim_batch: int = 1,
+    trace: Tracer | None = None,
 ) -> SweepReport:
     """Run a sweep; returns records in the order of ``points``.
 
@@ -93,6 +95,11 @@ def run_sweep(
     ``claim_batch`` makes the queue backend's spawned daemons claim up to
     that many tickets per spool scan, amortising the directory listing on
     very large grids (other backends ignore it).
+
+    ``trace`` receives sweep telemetry (``task`` lifecycle lines:
+    submitted, cached, ok/error/timeout) and is handed to the backend for
+    its internal spans; defaults to the ambient tracer (the no-op null
+    tracer unless a ``repro.obs.use_tracer`` block is active).
     """
     if not points:
         raise ValueError("empty sweep")
@@ -106,6 +113,8 @@ def run_sweep(
     scenario = get_scenario(points[0].scenario)
     report = SweepReport(scenario=scenario.name)
     say = progress or (lambda _msg: None)
+    tracer = trace if trace is not None else current_tracer()
+    tracer.event("sweep_start", scenario=scenario.name, points=len(points))
 
     keys = {
         p.index: cache_key(p.scenario, p.params, p.seed, scenario_version=scenario.version)
@@ -123,6 +132,7 @@ def run_sweep(
                 # sweep -- callers gating on report.ok must see it.
                 report.failed += 1
             say(f"[cache:{cached.status}] {scenario.name} #{point.index} {point.params}")
+            tracer.task("cached", point.index, status=cached.status)
         else:
             pending.append(point)
 
@@ -139,9 +149,11 @@ def run_sweep(
             duration_s=outcome.get("duration_s", 0.0),
             scenario_version=scenario.version,
             code_version=repro.__version__,
+            meta=outcome.get("meta") or {},
         )
         slots[point.index] = record
         report.executed += 1
+        tracer.task(record.status, point.index, duration_s=record.duration_s)
         if record.status != "ok":
             report.failed += 1
             say(f"[{record.status}] {scenario.name} #{point.index} {point.params}")
@@ -178,6 +190,7 @@ def run_sweep(
             if owned
             else backend
         )
+        engine.trace = tracer
         tasks = [
             Task(
                 point=point,
@@ -192,6 +205,7 @@ def run_sweep(
         outstanding = 0
         try:
             for task in tasks:
+                tracer.task("submitted", task.index, backend=engine.name)
                 engine.submit(task)
                 outstanding += 1
                 if not engine.synchronous:
@@ -214,4 +228,11 @@ def run_sweep(
                 engine.shutdown()
 
     report.records = [slots[p.index] for p in points]
+    tracer.event(
+        "sweep_end",
+        scenario=scenario.name,
+        cached=report.cached,
+        executed=report.executed,
+        failed=report.failed,
+    )
     return report

@@ -1,0 +1,44 @@
+"""Dependency-free telemetry: tracers, JSONL traces, run summaries.
+
+See :mod:`repro.obs.trace` for the tracer API and the trace line schema,
+and ``docs/observability.md`` for the workflow (tracing a sweep, reading a
+trace, the timeline page and the CI regression gate).
+"""
+
+from repro.obs.trace import (
+    NULL_TRACER,
+    TRACE_DIR_ENV,
+    TRACE_SCHEMA,
+    CollectingTracer,
+    RunMetaCollector,
+    Span,
+    TeeTracer,
+    Tracer,
+    TraceWriter,
+    current_tracer,
+    read_trace,
+    summarize_trace,
+    task_trace_path,
+    trace_dir_from_env,
+    trace_files,
+    use_tracer,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "TRACE_DIR_ENV",
+    "TRACE_SCHEMA",
+    "CollectingTracer",
+    "RunMetaCollector",
+    "Span",
+    "TeeTracer",
+    "Tracer",
+    "TraceWriter",
+    "current_tracer",
+    "read_trace",
+    "summarize_trace",
+    "task_trace_path",
+    "trace_dir_from_env",
+    "trace_files",
+    "use_tracer",
+]
