@@ -1,0 +1,394 @@
+"""Columnar transport and batched reductions: the struct-of-arrays hot path.
+
+:class:`ColumnarTransport` is a drop-in replacement for
+:class:`~repro.congest.transport.LinkTransport` that stores a round's
+staged sends as flat parallel columns (sender / receiver / payload lists
+plus an ``array('q')`` bits column) instead of one ``_InFlight`` object
+per message, and keeps each live directed edge as a small
+:class:`_EdgeQueue` whose *head* progress is accounted lazily against an
+internal clock -- a busy edge costs nothing per round until its head
+message actually completes.  A min-heap keyed on absolute completion
+clock makes :meth:`deliver_round` O(completing edges) and
+:meth:`rounds_until_delivery` O(1), where the baseline transport pays
+O(live edges) per executed round and O(total queued messages) per
+quiescence probe.
+
+Column schema (documented order; see also ``docs/architecture.md``):
+
+========  =============  ====================================================
+column    type           contents
+========  =============  ====================================================
+sender    list           sending node id, in ``Node.send`` call order
+receiver  list           receiving node id (parallel to ``sender``)
+payload   list           payload object reference (parallel)
+bits      ``array('q')`` charged message size in bits (parallel)
+========  =============  ====================================================
+
+The staging order is exactly the serial engines' send order (node-id
+order within a round, program send order within a node), and per-edge
+FIFOs are keyed by a monotonically increasing creation sequence, so
+deliveries, metrics and the opt-in message log are byte-identical to the
+baseline transport -- the cross-engine equivalence suite enforces this.
+
+Numpy policy: the stdlib layout *is* the reference semantics.  When
+numpy is importable a few bulk scans (column sums) use it; when it is
+absent everything runs on the stdlib ``array``/``list`` columns with
+identical results.  Nothing in this module requires numpy.
+
+:class:`MinEdgeIndex` is the batched min-edge reduction service used by
+the Boruvka/GKP fragment-minimum phases: incident edges are pre-sorted
+once per network by the canonical edge key, so each per-iteration
+"lightest outgoing edge" query is a prefix scan over the sorted incident
+list instead of a key construction per neighbour per query.  Engines opt
+in via ``Engine.uses_min_edge_index``; the legacy per-neighbour loop
+remains the reference path.
+"""
+
+from __future__ import annotations
+
+import heapq
+from array import array
+from collections import defaultdict
+from typing import Any, Hashable
+
+from repro.congest.message import Received
+from repro.congest.transport import BandwidthExceeded, LinkTransport
+
+try:  # optional fast path; the stdlib columns are the reference semantics
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the numpy-absent guard
+    _np = None
+
+#: Below this many staged messages a python ``sum`` beats the numpy
+#: round-trip; measured crossover is well under this conservative bound.
+_NUMPY_MIN_BATCH = 64
+
+
+def _sum_bits(bits: array) -> int:
+    """Total of a staged bits column (numpy when present and worthwhile)."""
+    if _np is not None and len(bits) >= _NUMPY_MIN_BATCH:
+        return int(_np.frombuffer(bits, dtype=_np.int64).sum())
+    return sum(bits)
+
+
+class _EdgeQueue:
+    """One live directed edge: FIFO columns plus lazy head accounting.
+
+    ``head`` indexes the first undelivered message in the ``payloads`` /
+    ``bits`` columns; ``head_rem`` is the head's remaining bits as of
+    clock ``head_clock`` (the transport does *not* decrement it each
+    round -- the remainder at any later clock ``c`` is
+    ``head_rem - B * (c - head_clock)``, and the completion clock
+    ``head_clock + ceil(head_rem / B)`` is computed once and pushed on
+    the transport's delivery heap).  ``seq`` is the edge's creation
+    sequence number: it orders same-round completions exactly as the
+    baseline transport's insertion-ordered link dict does, including
+    drain-then-revive reinsertion at the end.
+    """
+
+    __slots__ = ("sender", "receiver", "seq", "payloads", "bits", "head", "head_clock", "head_rem")
+
+    def __init__(self, sender: Hashable, receiver: Hashable, seq: int):
+        self.sender = sender
+        self.receiver = receiver
+        self.seq = seq
+        self.payloads: list[Any] = []
+        self.bits: list[int] = []
+        self.head = 0
+        self.head_clock = 0
+        self.head_rem = 0
+
+
+class ColumnarTransport(LinkTransport):
+    """Struct-of-arrays transport with event-driven delivery accounting.
+
+    Same public contract as :class:`LinkTransport` (the engines drive it
+    through the identical ``enqueue`` / ``flush`` / ``deliver_round`` /
+    ``rounds_until_delivery`` / ``skip_rounds`` operations and read the
+    identical metrics), different cost model:
+
+    - staging is four column appends, not an object allocation;
+    - a quiet live edge costs nothing per round (no per-head decrement);
+    - ``deliver_round`` touches only the edges whose head completes;
+    - ``rounds_until_delivery`` / ``pending_traffic`` are O(1).
+
+    Shard staging (the parallel engine's thread-local outboxes) is not
+    supported: the columnar engine is serial by design, so the staging
+    columns are single-writer.
+    """
+
+    #: Networks bind their tracer here (see ``CongestNetwork``) so flush
+    #: can sample per-round batch sizes without an engine round-trip.
+    wants_trace = True
+
+    def __init__(self, bandwidth: int, strict: bool = False, record_messages: bool = False):
+        super().__init__(bandwidth, strict=strict, record_messages=record_messages)
+        # Staging: parallel struct-of-arrays columns (see module docstring
+        # for the documented column order).
+        self._stage_senders: list[Hashable] = []
+        self._stage_receivers: list[Hashable] = []
+        self._stage_payloads: list[Any] = []
+        self._stage_bits: array = array("q")
+        # Live edges: creation-ordered (sender, receiver) -> _EdgeQueue.
+        self._cols: dict[tuple[Hashable, Hashable], _EdgeQueue] = {}
+        # (completion clock, edge seq, queue): exactly one entry per live
+        # edge, no stale entries -- popped when (and only when) the head
+        # completes, pushed when a new head is installed.
+        self._heap: list[tuple[int, int, _EdgeQueue]] = []
+        self._clock = 0  # rounds executed or skipped so far
+        self._seq = 0  # edge creation counter (orders same-round deliveries)
+        # Telemetry (read by ColumnarEngine's run-end summary event).
+        self.trace = None
+        self.flush_batches = 0
+        self.max_flush_messages = 0
+        self.peak_live_edges = 0
+
+    # -- staging ---------------------------------------------------------------
+
+    def enqueue(self, sender: Hashable, receiver: Hashable, payload: Any, bits: int, round_no: int) -> None:
+        """Stage one message as a row across the four columns."""
+        if self.strict and bits > self.bandwidth:
+            raise BandwidthExceeded(
+                f"message of {bits} bits exceeds B={self.bandwidth} on edge "
+                f"{sender!r}->{receiver!r}"
+            )
+        self._stage_senders.append(sender)
+        self._stage_receivers.append(receiver)
+        self._stage_payloads.append(payload)
+        self._stage_bits.append(bits)
+        self.total_messages += 1
+        self.total_bits += bits
+        if self.record_messages:
+            self.message_log.append((round_no, sender, receiver, bits))
+
+    def begin_shard_staging(self) -> None:
+        raise RuntimeError("columnar transport is single-writer; no shard staging")
+
+    def has_outgoing(self) -> bool:
+        return bool(self._stage_senders)
+
+    def flush(self) -> None:
+        """Commit the staged columns to the per-edge queues (round barrier)."""
+        senders = self._stage_senders
+        n = len(senders)
+        if n == 0:
+            return
+        receivers = self._stage_receivers
+        payloads = self._stage_payloads
+        bits_col = self._stage_bits
+        bw = self.bandwidth
+        if self.strict:
+            # Per-edge budget check as one column scan, raising *before*
+            # anything is committed (first offending edge in first-seen
+            # order, matching the baseline transport's message exactly).
+            per_edge: dict[tuple[Hashable, Hashable], int] = {}
+            for i in range(n):
+                edge = (senders[i], receivers[i])
+                per_edge[edge] = per_edge.get(edge, 0) + bits_col[i]
+            for (u, v), bits in per_edge.items():
+                if bits > bw:
+                    raise BandwidthExceeded(
+                        f"{bits} bits queued on edge {u!r}->{v!r} in one round "
+                        f"(B={bw})"
+                    )
+        cols = self._cols
+        heap = self._heap
+        clock = self._clock
+        for i in range(n):
+            edge = (senders[i], receivers[i])
+            queue = cols.get(edge)
+            if queue is None:
+                self._seq += 1
+                queue = _EdgeQueue(senders[i], receivers[i], self._seq)
+                bits = bits_col[i]
+                queue.payloads.append(payloads[i])
+                queue.bits.append(bits)
+                queue.head_clock = clock
+                queue.head_rem = bits
+                heapq.heappush(heap, (clock + -(-bits // bw), queue.seq, queue))
+                cols[edge] = queue
+            else:
+                queue.payloads.append(payloads[i])
+                queue.bits.append(bits_col[i])
+        self._pending_bits += _sum_bits(bits_col)
+        self.flush_batches += 1
+        if n > self.max_flush_messages:
+            self.max_flush_messages = n
+        live = len(cols)
+        if live > self.peak_live_edges:
+            self.peak_live_edges = live
+        trace = self.trace
+        if trace is not None and trace.enabled:
+            trace.event("columnar_batch", clock=clock, staged=n, live_edges=live)
+        self._stage_senders = []
+        self._stage_receivers = []
+        self._stage_payloads = []
+        self._stage_bits = array("q")
+
+    # -- advancing -------------------------------------------------------------
+
+    def deliver_round(self) -> dict[Hashable, list[Received]]:
+        """Advance one round; touch only the edges whose head completes.
+
+        Every live edge moves exactly ``B`` bits this round unless its
+        head completes (then it moves its remainder plus any cascade of
+        queued messages fitting the leftover budget) -- so the per-round
+        bit total is reconstructed from the completing edges alone, and
+        the non-completing majority costs O(1) in aggregate.
+        """
+        self._clock += 1
+        clock = self._clock
+        bw = self.bandwidth
+        cols = self._cols
+        heap = self._heap
+        inboxes: dict[Hashable, list[Received]] = defaultdict(list)
+        live = len(cols)
+        completed = 0
+        round_bits = 0
+        max_used = 0
+        while heap and heap[0][0] == clock:
+            _, _, queue = heapq.heappop(heap)
+            completed += 1
+            # Remaining at the start of this round, derived lazily: the
+            # head had head_rem bits at head_clock and moved B per round
+            # since.  1 <= rem <= B because the heap said "completes now".
+            rem = queue.head_rem - bw * (clock - 1 - queue.head_clock)
+            budget = bw - rem
+            receiver = queue.receiver
+            sender = queue.sender
+            payloads = queue.payloads
+            bits_list = queue.bits
+            inbox = inboxes[receiver]
+            i = queue.head
+            total = len(bits_list)
+            inbox.append(Received(sender, payloads[i], bits_list[i]))
+            payloads[i] = None  # delivered payloads are dead; free the ref
+            i += 1
+            while i < total and bits_list[i] <= budget:
+                budget -= bits_list[i]
+                inbox.append(Received(sender, payloads[i], bits_list[i]))
+                payloads[i] = None
+                i += 1
+            if i < total:
+                # New head starts mid-round with the leftover budget
+                # already applied; the full B was consumed on this edge.
+                used = bw
+                queue.head = i
+                queue.head_clock = clock
+                queue.head_rem = bits_list[i] - budget
+                heapq.heappush(heap, (clock + -(-queue.head_rem // bw), queue.seq, queue))
+                if i > 32 and 2 * i > total:
+                    del payloads[:i]
+                    del bits_list[:i]
+                    queue.head = 0
+            else:
+                used = bw - budget
+                del cols[(sender, receiver)]
+            round_bits += used
+            if used > max_used:
+                max_used = used
+        round_bits += bw * (live - completed)
+        if live > completed and bw > max_used:
+            max_used = bw
+        if max_used > self.max_edge_bits_per_round:
+            self.max_edge_bits_per_round = max_used
+        self.per_round_bits.append(round_bits)
+        self._pending_bits -= round_bits
+        return inboxes
+
+    def rounds_until_delivery(self) -> int | None:
+        """O(1): the heap's earliest completion clock minus the clock."""
+        if not self._cols:
+            return None
+        return self._heap[0][0] - self._clock
+
+    def skip_rounds(self, rounds: int) -> int:
+        """Account a quiet stretch without touching any edge state.
+
+        The lazy head accounting makes this O(1) in the number of live
+        edges: advancing the clock *is* the per-head decrement, so only
+        the metrics need updating.
+        """
+        if rounds <= 0:
+            return 0
+        bw = self.bandwidth
+        live = len(self._cols)
+        if live:
+            head_clock, _, queue = self._heap[0]
+            if rounds >= head_clock - self._clock:
+                remaining = queue.head_rem - bw * (self._clock - queue.head_clock)
+                raise RuntimeError(
+                    "skip_rounds crossed a delivery: "
+                    f"{rounds} rounds x B={bw} >= {remaining} bits remaining"
+                )
+            self._clock += rounds
+            if bw > self.max_edge_bits_per_round:
+                self.max_edge_bits_per_round = bw
+            self.per_round_bits.extend([bw * live] * rounds)
+            moved = bw * rounds * live
+            self._pending_bits -= moved
+            return moved
+        self._clock += rounds
+        self.per_round_bits.extend([0] * rounds)
+        return 0
+
+    # -- inspection ------------------------------------------------------------
+
+    @property
+    def live_edges(self) -> int:
+        """Directed edges currently carrying traffic."""
+        return len(self._cols)
+
+
+class MinEdgeIndex:
+    """Pre-sorted incident edges for batched fragment-minimum queries.
+
+    Per node, incident edges are sorted once by the canonical edge key
+    ``(float(weight), sorted endpoint reprs)`` -- identical to
+    ``repro.algorithms.mst.edge_key``, and unique per node since the key
+    embeds both endpoint names.  A "lightest edge leaving my fragment"
+    query is then the first sorted entry whose neighbour is eligible,
+    with no key construction per neighbour per query: exactly the legacy
+    per-neighbour minimum (unique keys make the minimum iteration-order
+    independent), at amortised O(edges log edges) total build cost per
+    network instead of O(degree) key tuples per node per iteration.
+    """
+
+    def __init__(self, graph, weight_key: str = "weight"):
+        self._incident: dict[Hashable, list[tuple[tuple, Hashable, str]]] = {}
+        edges = graph.edges
+        for u in graph.nodes():
+            u_repr = repr(u)
+            entries = []
+            for v in graph.neighbors(u):
+                v_repr = repr(v)
+                a, b = (u_repr, v_repr) if u_repr <= v_repr else (v_repr, u_repr)
+                weight = float(edges[u, v].get(weight_key, 1.0))
+                entries.append(((weight, a, b), v, v_repr))
+            entries.sort(key=lambda entry: entry[0])
+            self._incident[u] = entries
+
+    def min_outgoing(self, node_id: Hashable, label_of: dict, my_label) -> tuple | None:
+        """Mirror of ``mst._min_outgoing``: lightest incident edge whose
+        neighbour's label differs (labels compared with ``==``; unknown
+        neighbours default to ``my_label`` and are skipped).  Returns
+        ``(key, node_id, neighbour)`` or ``None``."""
+        for key, neighbor, neighbor_repr in self._incident[node_id]:
+            if label_of.get(neighbor_repr, my_label) == my_label:
+                continue
+            return (key, node_id, neighbor)
+        return None
+
+    def min_outgoing_by_repr(
+        self, node_id: Hashable, label_of: dict, my_label, exclude_reprs: set
+    ) -> tuple | None:
+        """Mirror of the Phase-B candidate scan: labels compared by repr
+        and tree-edge neighbours (``exclude_reprs``) skipped.  Returns
+        ``(key, neighbour, neighbour_label)`` or ``None``."""
+        my_repr = repr(my_label)
+        for key, neighbor, neighbor_repr in self._incident[node_id]:
+            other_label = label_of.get(neighbor_repr, my_label)
+            if repr(other_label) == my_repr or neighbor_repr in exclude_reprs:
+                continue
+            return (key, neighbor, other_label)
+        return None

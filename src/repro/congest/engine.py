@@ -20,6 +20,13 @@ engines produce the same :class:`RunResult` for the same program:
   and staged sends), so shards run concurrently; outboxes are merged at
   the round barrier in node-id order, keeping every metric -- including
   the opt-in message log -- byte-identical to the serial engines.
+- :class:`ColumnarEngine` -- the event engine's clock over the
+  struct-of-arrays :class:`~repro.congest.columnar.ColumnarTransport`
+  (flat staging columns, lazy per-edge head accounting, a completion-clock
+  heap) plus the batched :class:`~repro.congest.columnar.MinEdgeIndex`
+  reduction service for the Boruvka/GKP fragment-minimum phases.  Engines
+  declare their transport via the ``transport_class`` attribute and their
+  reduction opt-in via ``uses_min_edge_index``; the network builds both.
 
 All engines express a round's work as a :class:`StepPlan` (the batched step
 ABI): the ordered active set plus that round's inboxes.  :func:`step_batch`
@@ -42,6 +49,9 @@ import time
 from concurrent.futures import ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Hashable, Sequence
+
+from repro.congest.columnar import ColumnarTransport
+from repro.congest.transport import LinkTransport
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.congest.message import Received
@@ -124,6 +134,14 @@ class Engine:
     """
 
     name = "abstract"
+    #: Transport the network builds for this engine; engines with bespoke
+    #: storage layouts (the columnar engine) override it.
+    transport_class = LinkTransport
+    #: Whether MST-family programs should route fragment-minimum queries
+    #: through the network's pre-sorted :class:`MinEdgeIndex` instead of
+    #: the legacy per-neighbour scan.  Off for the reference engines so
+    #: cross-engine comparisons measure the columnar stack honestly.
+    uses_min_edge_index = False
     #: ``on_round`` calls made (all engines) / quiet rounds jumped in O(1)
     #: (event-clock engines; always 0 for the dense engine).
     node_steps = 0
@@ -513,7 +531,52 @@ class ParallelEngine(EventEngine):
         return outbox, stepped, error, (time.perf_counter() - t0 if timed else 0.0)
 
 
-_ENGINES = {"dense": DenseEngine, "event": EventEngine, "parallel": ParallelEngine}
+class ColumnarEngine(EventEngine):
+    """Event-clock engine over the struct-of-arrays transport.
+
+    Scheduling is inherited unchanged from :class:`EventEngine` (active
+    set, O(1) quiet-round skips, quiescence probing); what changes is the
+    data layout underneath: the network builds a
+    :class:`~repro.congest.columnar.ColumnarTransport` (``transport_class``),
+    so staging is flat column appends, executed rounds cost O(completing
+    edges) instead of O(live edges), and the per-round quiescence probes
+    (``pending_traffic`` / ``rounds_until_delivery``) are O(1).  The
+    engine also opts in to the network's pre-sorted
+    :class:`~repro.congest.columnar.MinEdgeIndex`
+    (``uses_min_edge_index``), which the Boruvka/GKP fragment-minimum
+    phases consult instead of constructing an edge key per neighbour per
+    iteration.
+
+    Equivalence contract unchanged: every ``RunResult`` field and the
+    opt-in message log are byte-identical to the dense reference.  When
+    tracing is on, the transport emits one ``columnar_batch`` event per
+    non-empty flush and the run ends with a ``columnar_summary`` event.
+    """
+
+    name = "columnar"
+    transport_class = ColumnarTransport
+    uses_min_edge_index = True
+
+    def run(self, network: "CongestNetwork", max_rounds: int, stop_on_quiescence: bool) -> RunResult:
+        result = super().run(network, max_rounds, stop_on_quiescence)
+        transport = network.transport
+        trace = network.trace
+        if trace.enabled and isinstance(transport, ColumnarTransport):
+            trace.event(
+                "columnar_summary",
+                flush_batches=transport.flush_batches,
+                max_batch=transport.max_flush_messages,
+                peak_live_edges=transport.peak_live_edges,
+            )
+        return result
+
+
+_ENGINES = {
+    "dense": DenseEngine,
+    "event": EventEngine,
+    "parallel": ParallelEngine,
+    "columnar": ColumnarEngine,
+}
 
 
 def get_engine(spec: str | Engine, threads: int | None = None) -> Engine:

@@ -17,19 +17,23 @@ The implementation is split into three layers (see each module's docstring):
 - :mod:`repro.congest.engine` -- pluggable round schedulers: the reference
   :class:`~repro.congest.engine.DenseEngine` (every node, every round), the
   default :class:`~repro.congest.engine.EventEngine` (active-node set,
-  O(1) skips over quiet rounds) and
+  O(1) skips over quiet rounds),
   :class:`~repro.congest.engine.ParallelEngine` (the event clock with the
-  step phase sharded across a thread pool);
+  step phase sharded across a thread pool) and
+  :class:`~repro.congest.engine.ColumnarEngine` (the event clock over the
+  struct-of-arrays :mod:`repro.congest.columnar` transport with batched
+  min-edge reductions);
 - :mod:`repro.congest.node` -- the program API, including the idleness
   hints (``next_active_round`` / phase-level ``idle_until``) the event
   engine exploits.
 
 :class:`CongestNetwork` wires the three together; pick the engine with the
-``engine="event"|"dense"|"parallel"`` kwarg (``engine_threads`` sizes the
-parallel pool).  All engines produce identical :class:`RunResult`\\ s for
-the same program -- ``dense`` is the reference to cross-check against,
-``event`` the fast default, ``parallel`` the sharded stepper for large
-active sets on hardware with real thread parallelism.
+``engine="event"|"dense"|"parallel"|"columnar"`` kwarg (``engine_threads``
+sizes the parallel pool).  All engines produce identical
+:class:`RunResult`\\ s for the same program -- ``dense`` is the reference
+to cross-check against, ``event`` the fast default, ``parallel`` the
+sharded stepper for hardware with real thread parallelism, ``columnar``
+the struct-of-arrays hot path for big message-heavy runs.
 """
 
 from __future__ import annotations
@@ -39,8 +43,10 @@ from typing import Any, Callable, Hashable
 
 import networkx as nx
 
+from repro.congest.columnar import MinEdgeIndex
 from repro.congest.engine import Engine, RunResult, get_engine
 from repro.congest.node import Node, NodeProgram
+from repro.congest.topology import build_adjacency
 from repro.congest.transport import BandwidthExceeded, LinkTransport
 from repro.obs.trace import Tracer, current_tracer
 
@@ -78,14 +84,26 @@ class CongestNetwork:
         self.trace = trace if trace is not None else current_tracer()
         self._rng = random.Random(seed)
         self.n_nodes = graph.number_of_nodes()
-        self.transport = LinkTransport(bandwidth, strict=strict, record_messages=record_messages)
+        # Engine first: it declares the transport layout it runs against
+        # (LinkTransport by default, the struct-of-arrays ColumnarTransport
+        # for the columnar engine).
         self.engine = get_engine(engine, threads=engine_threads)
+        transport_class = getattr(self.engine, "transport_class", LinkTransport)
+        self.transport = transport_class(
+            bandwidth, strict=strict, record_messages=record_messages
+        )
+        if getattr(transport_class, "wants_trace", False):
+            self.transport.trace = self.trace
+        self._min_edge_index: MinEdgeIndex | None = None
 
+        # Canonical node order + per-node neighbour tuples, sorted by repr
+        # and cached per graph (repeated builds over one instance reuse
+        # them; see topology.build_adjacency).
+        node_order, adjacency = build_adjacency(graph)
         self.nodes: dict[Hashable, Node] = {}
         self.programs: dict[Hashable, NodeProgram] = {}
-        for node_id in sorted(graph.nodes(), key=repr):
-            neighbors = sorted(graph.neighbors(node_id), key=repr)
-            node = Node(node_id, neighbors, self, random.Random(self._rng.random()))
+        for node_id in node_order:
+            node = Node(node_id, adjacency[node_id], self, random.Random(self._rng.random()))
             if inputs is not None and node_id in inputs:
                 node.input = inputs[node_id]
             self.nodes[node_id] = node
@@ -95,6 +113,15 @@ class CongestNetwork:
 
     def edge_weight(self, u: Hashable, v: Hashable) -> float:
         return self.graph.edges[u, v].get(self.weight_key, 1.0)
+
+    def min_edge_index(self) -> MinEdgeIndex:
+        """The batched fragment-minimum service: incident edges pre-sorted
+        by canonical edge key, built lazily once per network.  Engines opt
+        in via ``uses_min_edge_index`` (see the MST programs)."""
+        index = self._min_edge_index
+        if index is None:
+            index = self._min_edge_index = MinEdgeIndex(self.graph, self.weight_key)
+        return index
 
     # -- metrics (owned by the transport) --------------------------------------
 

@@ -69,7 +69,13 @@ class Node:
         self._network._enqueue(self.id, neighbor, payload, size)
 
     def broadcast(self, payload: Any, bits: int | None = None) -> None:
-        """Send the same payload to every neighbour."""
+        """Send the same payload to every neighbour.
+
+        The automatic size estimate is computed once, not per neighbour
+        (the payload is shared, so its size is too).
+        """
+        if bits is None and self.neighbors:
+            bits = bit_size(payload)
         for neighbor in self.neighbors:
             self.send(neighbor, payload, bits=bits)
 

@@ -79,6 +79,11 @@ class LinkTransport:
         self.total_bits = 0
         self.max_edge_bits_per_round = 0
         self.per_round_bits: list[int] = []
+        # Bits still in flight (committed to link buffers, not yet moved),
+        # kept incrementally: += at the flush commit, -= exactly the bits a
+        # round (or skipped stretch) moves.  Makes pending_traffic() O(1)
+        # -- the event engine probes it every executed round.
+        self._pending_bits = 0
         #: (round_sent, sender, receiver, bits) per message; only populated
         #: when ``record_messages`` is set (the list grows unboundedly).
         self.message_log: list[tuple[int, Hashable, Hashable, int]] = []
@@ -160,11 +165,14 @@ class LinkTransport:
                         f"{bits} bits queued on edge {u!r}->{v!r} in one round "
                         f"(B={self.bandwidth})"
                     )
+        committed = 0
         for msg in self._outgoing:
             queue = self._links.get((msg.sender, msg.receiver))
             if queue is None:
                 queue = self._links[(msg.sender, msg.receiver)] = deque()
             queue.append(msg)
+            committed += msg.bits
+        self._pending_bits += committed
         self._outgoing = []
 
     def has_outgoing(self) -> bool:
@@ -199,6 +207,7 @@ class LinkTransport:
         for key in drained:
             del self._links[key]
         self.per_round_bits.append(round_bits)
+        self._pending_bits -= round_bits
         return inboxes
 
     def rounds_until_delivery(self) -> int | None:
@@ -243,6 +252,7 @@ class LinkTransport:
             if bw > self.max_edge_bits_per_round:
                 self.max_edge_bits_per_round = bw
             self.per_round_bits.extend([bw * len(self._links)] * rounds)
+            self._pending_bits -= moved * len(self._links)
             return moved * len(self._links)
         self.per_round_bits.extend([0] * rounds)
         return 0
@@ -250,5 +260,6 @@ class LinkTransport:
     # -- inspection ------------------------------------------------------------
 
     def pending_traffic(self) -> int:
-        """Bits still in flight (useful for quiescence assertions in tests)."""
-        return sum(msg.remaining for queue in self._links.values() for msg in queue)
+        """Bits still in flight, O(1) (the incremental counter; quiescence
+        probes used to rescan every queued message per quiet round)."""
+        return self._pending_bits

@@ -99,7 +99,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--workers", type=int, default=1, help="process-pool size (1 = serial)")
     run.add_argument(
         "--engine",
-        choices=("event", "dense", "parallel"),
+        choices=("event", "dense", "parallel", "columnar"),
         default=None,
         help="CONGEST engine axis (scenarios declaring an `engine` param only)",
     )

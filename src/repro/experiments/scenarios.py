@@ -38,10 +38,13 @@ from repro.core.simulation_theorem import SimulationTheoremNetwork
 from repro.congest.engine import Engine, get_engine
 from repro.experiments.registry import ParamSpec, PlotSpec, scenario
 from repro.graphs.generators import (
+    connect_nearest_components,
+    knn_geometric_graph,
     matching_pair_for_cycles,
     random_connected_graph,
     random_weighted_graph,
 )
+from repro.graphs.spatial import GridIndex
 
 
 #: Engine-selection axes shared by the CONGEST-heavy scenarios, so sweeps
@@ -49,7 +52,7 @@ from repro.graphs.generators import (
 #: --engine-threads 4`` at the CLI).  ``engine_threads = 0`` means the
 #: engine's own default (the host CPU count for ``parallel``).
 ENGINE_PARAMS = (
-    ParamSpec("engine", str, "event", "CONGEST engine: event|dense|parallel"),
+    ParamSpec("engine", str, "event", "CONGEST engine: event|dense|parallel|columnar"),
     ParamSpec("engine_threads", int, 0, "parallel-engine shard threads (0 = cpu count)"),
 )
 
@@ -785,24 +788,12 @@ def _boruvka_instance(
         }
     elif generator == "geometric":
         pos = {v: (rng.random() * 10, rng.random() * 10) for v in range(n)}
-        graph = nx.Graph()
-        graph.add_nodes_from(range(n))
-        k_nearest = 3
-        for u in range(n):
-            nearest = sorted(
-                (v for v in range(n) if v != u),
-                key=lambda v: math.dist(pos[u], pos[v]),
-            )[:k_nearest]
-            for v in nearest:
-                graph.add_edge(u, v)
-        # kNN graphs can fragment; bridge components with their closest pair.
-        while not nx.is_connected(graph):
-            components = [sorted(c) for c in nx.connected_components(graph)]
-            u, v = min(
-                ((a, b) for a in components[0] for c in components[1:] for b in c),
-                key=lambda edge: math.dist(pos[edge[0]], pos[edge[1]]),
-            )
-            graph.add_edge(u, v)
+        # Grid-indexed kNN + closest-pair bridging: ~O(n * k) instead of
+        # the old all-pairs scans, byte-identical instances (the spatial
+        # index reproduces brute-force distance/tie order exactly).
+        spatial = GridIndex(pos)
+        graph = knn_geometric_graph(pos, k=3, index=spatial)
+        connect_nearest_components(graph, pos, index=spatial)
     else:
         raise ValueError(f"unknown generator {generator!r}; known: random, grid, geometric")
 

@@ -207,6 +207,6 @@ class TestExecution:
 
     def test_both_engines_strict_mode(self):
         graph = nx.path_graph(2)
-        for engine in ("dense", "event"):
+        for engine in ("dense", "event", "columnar"):
             with pytest.raises(BandwidthExceeded):
                 run_program(graph, BigSender, bandwidth=10, strict=True, engine=engine)

@@ -84,3 +84,37 @@ class TestOtherFamilies:
         graph = low_diameter_pair_graph(32)
         assert nx.is_connected(graph)
         assert nx.diameter(graph) <= 2 * math.log2(32) + 2
+
+
+class TestAdjacencyCache:
+    def test_build_adjacency_sorted_and_cached(self):
+        from repro.congest.topology import build_adjacency
+
+        graph = nx.Graph([(3, 1), (1, 2), (2, 3), (0, 3)])
+        order, adjacency = build_adjacency(graph)
+        assert order == tuple(sorted(graph.nodes(), key=repr))
+        for node, neighbors in adjacency.items():
+            assert isinstance(neighbors, tuple)
+            assert list(neighbors) == sorted(graph.neighbors(node), key=repr)
+        # Same graph object, same shape: the cached tuples come back.
+        again = build_adjacency(graph)
+        assert again[0] is order
+        assert again[1] is adjacency
+
+    def test_cache_invalidated_by_shape_change(self):
+        from repro.congest.topology import build_adjacency
+
+        graph = nx.path_graph(4)
+        _, adjacency = build_adjacency(graph)
+        graph.add_edge(0, 3)
+        _, rebuilt = build_adjacency(graph)
+        assert rebuilt is not adjacency
+        assert 3 in rebuilt[0]
+
+    def test_add_clique(self):
+        from repro.congest.topology import add_clique
+
+        graph = nx.Graph()
+        add_clique(graph, ["a", "b", "c", "d"])
+        assert graph.number_of_edges() == 6
+        assert all(graph.has_edge(u, v) for u in "abcd" for v in "abcd" if u != v)

@@ -1,4 +1,4 @@
-"""Cross-engine equivalence: Dense, Event and Parallel engines must agree.
+"""Cross-engine equivalence: Dense, Event, Parallel and Columnar must agree.
 
 Every registered algorithm family runs on each engine over seeded random
 graphs; the full ``RunResult`` must match the dense reference field for
@@ -12,7 +12,11 @@ divergence.
 
 The parallel engine is instantiated with ``min_parallel_nodes=1`` so every
 round genuinely fans out across the thread pool -- the inline small-round
-fallback must not be what makes these tests pass.
+fallback must not be what makes these tests pass.  The columnar engine
+swaps the whole transport layout (struct-of-arrays staging, lazy per-edge
+head accounting, a completion-clock heap) plus the batched min-edge
+reduction service, so its runs pin all of that to the reference semantics
+at once.
 """
 
 import networkx as nx
@@ -39,7 +43,7 @@ from repro.congest.node import Node, NodeProgram
 from repro.graphs.generators import random_connected_graph
 
 #: The engines checked against the dense reference.
-ENGINES = ("event", "parallel")
+ENGINES = ("event", "parallel", "columnar")
 
 
 def make_engine(name):
@@ -393,6 +397,7 @@ class TestParallelDeterminism:
         for name, spec in (
             ("dense", "dense"),
             ("event", "event"),
+            ("columnar", "columnar"),
             ("parallel", ParallelEngine(threads=4, min_parallel_nodes=1)),
         ):
             network = CongestNetwork(
@@ -402,6 +407,7 @@ class TestParallelDeterminism:
                 network.run(max_rounds=10)
             totals[name] = (network.total_messages, network.total_bits)
         assert totals["parallel"] == totals["dense"] == totals["event"]
+        assert totals["columnar"] == totals["dense"]
 
     def test_engine_validation(self):
         with pytest.raises(ValueError, match="threads"):

@@ -261,13 +261,13 @@ class TestBoruvkaMstSweepScenario:
         and the same CONGEST metrics on the same point."""
         scn = get_scenario("boruvka-mst-sweep")
         results = {}
-        for engine in ("dense", "event", "parallel"):
+        for engine in ("dense", "event", "parallel", "columnar"):
             params = scn.resolve_params(
                 {"n": 16, "generator": "geometric", "weight_model": "distinct",
                  "engine": engine, "engine_threads": 2}
             )
             results[engine] = scn.run(params, seed=5)
-        for engine in ("event", "parallel"):
+        for engine in ("event", "parallel", "columnar"):
             for field in ("tree_weight", "rounds", "total_bits", "total_messages", "exact"):
                 assert results[engine][field] == results["dense"][field], (engine, field)
 

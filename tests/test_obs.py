@@ -135,7 +135,7 @@ class TestTraceWriter:
 
 
 class TestExactAccounting:
-    @pytest.mark.parametrize("engine", ["dense", "event", "parallel"])
+    @pytest.mark.parametrize("engine", ["dense", "event", "parallel", "columnar"])
     def test_round_bit_samples_sum_to_run_result(self, engine):
         graph = _graph(seed=7)
         eng = (
@@ -158,7 +158,7 @@ class TestExactAccounting:
     def test_engines_agree_on_counter_totals(self):
         graph = _graph(seed=11)
         totals = {}
-        for name in ("dense", "event", "parallel"):
+        for name in ("dense", "event", "parallel", "columnar"):
             eng = (
                 ParallelEngine(threads=2, min_parallel_nodes=1)
                 if name == "parallel"
@@ -175,6 +175,7 @@ class TestExactAccounting:
             )
         assert totals["event"] == totals["dense"]
         assert totals["parallel"] == totals["dense"]
+        assert totals["columnar"] == totals["dense"]
 
 
 class TestSweepTraces:
