@@ -51,14 +51,19 @@ def _extract_speedups(data, context: str = "") -> list[tuple[str, float]]:
 
     found: list[tuple[str, float]] = []
     if isinstance(data, dict):
-        label = str(data.get("scenario") or data.get("benchmark") or context or "speedup")
+        label = str(
+            data.get("scenario") or data.get("benchmark") or data.get("group") or context or "speedup"
+        )
         if "threads" in data and isinstance(data["threads"], Real):
             label += f" ({int(data['threads'])} thr)"
         speedup = data.get("speedup")
         if isinstance(speedup, Real) and not isinstance(speedup, bool):
             found.append((label, float(speedup)))
+        vs_event = data.get("speedup_vs_event")
+        if isinstance(vs_event, Real) and not isinstance(vs_event, bool):
+            found.append((label + " vs event", float(vs_event)))
         for key in sorted(data):
-            if key != "speedup":
+            if key not in ("speedup", "speedup_vs_event"):
                 found.extend(_extract_speedups(data[key], context=label))
     elif isinstance(data, list):
         for item in data:

@@ -32,6 +32,7 @@ from typing import Hashable
 
 import networkx as nx
 
+from repro.congest.kernels import StdlibKernels
 from repro.congest.message import Received
 from repro.congest.network import CongestNetwork, RunResult
 from repro.congest.node import Node, NodeProgram
@@ -147,41 +148,59 @@ def run_elkin_approx_mst(
     for e, cls in classes.items():
         u, v = tuple(e)
         quantised.add_edge(u, v, weight=cls)
-    mst_weight_quantised = component_count_mst_weight(quantised, n_classes)
+    # The engine's kernel choice (columnar engines resolve one at
+    # construction) also drives the post-run reduction sweep.
+    mst_weight_quantised = component_count_mst_weight(
+        quantised, n_classes, kernels=getattr(network.engine, "kernels", None)
+    )
     return mst_weight_quantised * alpha * w_min, result
 
 
-def component_count_mst_weight(quantised: nx.Graph, n_classes: int) -> float:
+def component_count_mst_weight(quantised: nx.Graph, n_classes: int, kernels=None) -> float:
     """The identity ``MST = sum_t (components(class < t) - 1)`` for integer
     class weights (exact Kruskal accounting).
 
-    Evaluated as a single ascending sweep over the classes with a union-find
-    (``O(C + m alpha(m))``) rather than recounting components from scratch at
-    every threshold (``O(C (n + m))`` -- at large aspect ratios the recount
-    dominated the whole Fig. 3 grid point).
+    Evaluated as a single ascending sweep over the class-sorted edge list
+    with an int-indexed union-find (``O(C + m alpha(m))``) rather than
+    recounting components from scratch at every threshold (``O(C (n + m))``
+    -- at large aspect ratios the recount dominated the whole Fig. 3 grid
+    point).  ``kernels`` is a kernel class from
+    :mod:`repro.congest.kernels` supplying the batch sort; the sort is
+    stable, so every kernel produces the identical union sequence and the
+    identical sum.
     """
-    parent: dict = {v: v for v in quantised.nodes()}
+    kernels = kernels or StdlibKernels
+    index = {v: i for i, v in enumerate(quantised.nodes())}
+    parent = list(range(len(index)))
 
-    def find(x):
+    def find(x: int) -> int:
         while parent[x] != x:
             parent[x] = parent[parent[x]]  # path halving
             x = parent[x]
         return x
 
-    edges_by_class: dict[int, list] = {}
+    classes: list[int] = []
+    us: list[int] = []
+    vs: list[int] = []
     for u, v, data in quantised.edges(data=True):
-        edges_by_class.setdefault(int(data["weight"]), []).append((u, v))
+        classes.append(int(data["weight"]))
+        us.append(index[u])
+        vs.append(index[v])
+    classes, us, vs = kernels.sort_edges_by_class(classes, us, vs)
 
-    components = quantised.number_of_nodes()
+    components = len(parent)
     total = 0.0
+    cursor = 0
+    m = len(classes)
     for t in range(1, n_classes + 1):
-        # Threshold t counts components of the subgraph with class < t, so
-        # fold in the class-(t-1) edges before counting.
-        for u, v in edges_by_class.get(t - 1, ()):
-            ru, rv = find(u), find(v)
+        # Threshold t counts components of the subgraph with class < t; the
+        # edges are class-sorted, so folding them in is one linear cursor.
+        while cursor < m and classes[cursor] < t:
+            ru, rv = find(us[cursor]), find(vs[cursor])
             if ru != rv:
                 parent[ru] = rv
                 components -= 1
+            cursor += 1
         total += components - 1
     return total
 

@@ -73,6 +73,10 @@ class PhasedProgram(NodeProgram):
         # Absolute round after which the current phase started; phase-local
         # rounds are computed from it so skipped (idle) rounds cost nothing.
         self._phase_started_after = 0
+        # Duration is contractually stable while a phase is active, so it is
+        # computed once on entry; the absolute boundary round falls out.
+        self._phase_duration = 0
+        self._phase_boundary = 0
         self.shared: dict[str, Any] = {}
 
     def on_start(self, node: Node) -> None:
@@ -87,7 +91,10 @@ class PhasedProgram(NodeProgram):
             self.round_in_phase = 0
             self._phase_started_after = at_round
             phase.on_enter(node, self.shared)
-            if phase.duration(node, self.shared) > 0:
+            duration = phase.duration(node, self.shared)
+            if duration > 0:
+                self._phase_duration = duration
+                self._phase_boundary = at_round + duration
                 return
             phase.on_exit(node, self.shared)
             self.index += 1
@@ -99,7 +106,7 @@ class PhasedProgram(NodeProgram):
         phase = self.phases[self.index]
         self.round_in_phase = round_no - self._phase_started_after
         phase.on_round(node, self.round_in_phase, inbox, self.shared)
-        if self.round_in_phase >= phase.duration(node, self.shared):
+        if self.round_in_phase >= self._phase_duration:
             phase.on_exit(node, self.shared)
             self.index += 1
             self._enter_current(node, round_no)
@@ -110,7 +117,7 @@ class PhasedProgram(NodeProgram):
             return None
         phase = self.phases[self.index]
         rp = after_round - self._phase_started_after
-        boundary = self._phase_started_after + phase.duration(node, self.shared)
+        boundary = self._phase_boundary
         hint = phase.idle_until(node, rp, self.shared)
         if hint is None:
             return boundary

@@ -21,6 +21,8 @@ is unique.
 
 from __future__ import annotations
 
+import functools
+import hashlib
 import math
 from typing import Any, Hashable
 
@@ -46,21 +48,28 @@ def edge_key(weight: float, u: Hashable, v: Hashable) -> tuple:
     return (float(weight), a, b)
 
 
+#: ``ceil(log2 n)``-style id width per network size -- ``_control_bits`` is
+#: called once per control message, so the log is looked up, not recomputed.
+_ID_BITS_CACHE: dict[int, int] = {}
+
+
 def _control_bits(node: Node, floats: int = 0, ids: int = 0, extra: int = 8) -> int:
     """Honest bit size of a control message: ids cost ``ceil(log2 n)`` bits,
     weights 64 bits, plus a small tag/header allowance.  (The simulator's
     default payload sizing charges repr-string lengths, which would bill the
     *encoding*, not the information.)"""
-    id_bits = max(8, math.ceil(math.log2(max(2, node.n_nodes))) + 1)
+    n = node.n_nodes
+    id_bits = _ID_BITS_CACHE.get(n)
+    if id_bits is None:
+        id_bits = _ID_BITS_CACHE[n] = max(8, math.ceil(math.log2(max(2, n))) + 1)
     return extra + 64 * floats + id_bits * ids
 
 
+@functools.lru_cache(maxsize=65536)
 def _mate_coin(label, iteration: int) -> int:
     """Deterministic random-mate coin: 1 = head (absorbs), 0 = tail
     (joins).  Derived from the fragment label and iteration so that all
     members of a fragment agree without communication."""
-    import hashlib
-
     digest = hashlib.sha256(f"{label!r}|{iteration}".encode()).digest()
     return digest[0] & 1
 
@@ -140,6 +149,7 @@ class BoruvkaMSTProgram(NodeProgram):
     def __init__(self, flood_budget: int | None = None):
         self.flood_budget = flood_budget
         self.state: _FragmentState | None = None
+        self._sched: tuple[int, int, int] | None = None
 
     # Schedule bookkeeping -----------------------------------------------
 
@@ -152,6 +162,19 @@ class BoruvkaMSTProgram(NodeProgram):
     def _iteration_length(self, node: Node) -> int:
         return 2 * self._budget(node) + 4
 
+    def _schedule(self, node: Node) -> tuple[int, int, int]:
+        """(budget, iterations, iteration length) -- pure functions of the
+        instance parameters and ``n``, computed once per program instance
+        (``on_round``/``next_active_round`` run thousands of times)."""
+        sched = self._sched
+        if sched is None:
+            sched = self._sched = (
+                self._budget(node),
+                self._iterations(node),
+                self._iteration_length(node),
+            )
+        return sched
+
     def on_start(self, node: Node) -> None:
         self.state = _FragmentState(node)
         node.broadcast(("label", self.state.label), bits=_control_bits(node, ids=1))
@@ -159,12 +182,11 @@ class BoruvkaMSTProgram(NodeProgram):
     def on_round(self, node: Node, round_no: int, inbox: list[Received]) -> None:
         state = self.state
         assert state is not None
-        budget = self._budget(node)
-        length = self._iteration_length(node)
+        budget, iterations, length = self._schedule(node)
         iteration, r = divmod(round_no - 1, length)
         r += 1  # 1-based within iteration
 
-        if iteration >= self._iterations(node):
+        if iteration >= iterations:
             node.halt(
                 {
                     "label": state.label,
@@ -234,9 +256,8 @@ class BoruvkaMSTProgram(NodeProgram):
         # r=budget+2 (choose + mark labels dirty), r=length (re-announce);
         # everything else is delivery-driven.  The halt round caps the
         # schedule.
-        budget = self._budget(node)
-        length = self._iteration_length(node)
-        halt_round = self._iterations(node) * length + 1
+        budget, iterations, length = self._schedule(node)
+        halt_round = iterations * length + 1
         if after_round >= halt_round:
             return None
         base = (after_round // length) * length
@@ -271,6 +292,20 @@ class ControlledBoruvkaPhase(Phase):
     def __init__(self, cap: int | None = None, iterations: int | None = None):
         self.cap = cap
         self.iterations = iterations
+        self._sched: tuple[int, int, int, int] | None = None
+
+    def _schedule(self, node: Node) -> tuple[int, int, int, int]:
+        """(cap, iterations, budget, iteration length) -- pure functions of
+        the phase parameters and ``n``, computed once per phase instance."""
+        sched = self._sched
+        if sched is None:
+            sched = self._sched = (
+                self._cap(node),
+                self._iterations(node),
+                self._budget(node),
+                self._iteration_length(node),
+            )
+        return sched
 
     def _cap(self, node: Node) -> int:
         return self.cap if self.cap is not None else max(2, math.ceil(math.sqrt(node.n_nodes)))
@@ -296,7 +331,8 @@ class ControlledBoruvkaPhase(Phase):
         return 3 * self._budget(node) + 10
 
     def duration(self, node: Node, shared: dict) -> int:
-        return self._iterations(node) * self._iteration_length(node)
+        _cap, iterations, _budget, length = self._schedule(node)
+        return iterations * length
 
     def on_enter(self, node: Node, shared: dict) -> None:
         shared["frag_label"] = node.id
@@ -306,12 +342,10 @@ class ControlledBoruvkaPhase(Phase):
         node.broadcast(("label", node.id), bits=_control_bits(node, ids=1))
 
     def on_round(self, node: Node, round_in_phase: int, inbox: list[Received], shared: dict) -> None:
-        budget = self._budget(node)
-        length = self._iteration_length(node)
+        cap, _iterations, budget, length = self._schedule(node)
         _iteration, r = divmod(round_in_phase - 1, length)
         r += 1
 
-        cap = self._cap(node)
         for msg in inbox:
             tag = msg.payload[0]
             if tag == "label":
@@ -419,8 +453,7 @@ class ControlledBoruvkaPhase(Phase):
         # Same spontaneous schedule as BoruvkaMSTProgram: r=1 (candidate),
         # r=budget+2 (propose), r=length (re-announce); the dirty-flag flood
         # windows in between fire only in the same step as a delivery.
-        budget = self._budget(node)
-        length = self._iteration_length(node)
+        _cap, _iterations, budget, length = self._schedule(node)
         base = (round_in_phase // length) * length
         for off in (1, budget + 2, length, length + 1):
             if base + off > round_in_phase:

@@ -2,13 +2,22 @@
 
 :class:`ColumnarTransport` is a drop-in replacement for
 :class:`~repro.congest.transport.LinkTransport` that stores a round's
-staged sends as flat parallel columns (sender / receiver / payload lists
-plus an ``array('q')`` bits column) instead of one ``_InFlight`` object
-per message, and keeps each live directed edge as a small
-:class:`_EdgeQueue` whose *head* progress is accounted lazily against an
-internal clock -- a busy edge costs nothing per round until its head
-message actually completes.  A min-heap keyed on absolute completion
-clock makes :meth:`deliver_round` O(completing edges) and
+staged sends as flat parallel columns (an ``array('q')`` edge-id column,
+an ``array('q')`` bits column and a payload list) instead of one
+``_InFlight`` object per message, and keeps each directed edge as a
+small permanent :class:`_EdgeQueue` whose *head* progress is accounted
+lazily against an internal clock -- a busy edge costs nothing per round
+until its head message actually completes.
+
+All batch operations go through the kernel seam
+(:mod:`repro.congest.kernels`): an implementation --
+:class:`~repro.congest.kernels.StdlibKernels` (the reference) or
+:class:`~repro.congest.kernels.NumpyKernels` (vectorized ndarray scans)
+-- is chosen **once at construction** and held for the transport's
+lifetime; the hot path never re-checks availability or batch size.  The
+kernel instance owns the edge-clock schedule (a completion-clock heap,
+or a dense completion array scanned with ``nonzero``), making
+:meth:`deliver_round` O(completing edges) and
 :meth:`rounds_until_delivery` O(1), where the baseline transport pays
 O(live edges) per executed round and O(total queued messages) per
 quiescence probe.
@@ -18,39 +27,65 @@ Column schema (documented order; see also ``docs/architecture.md``):
 ========  =============  ====================================================
 column    type           contents
 ========  =============  ====================================================
-sender    list           sending node id, in ``Node.send`` call order
-receiver  list           receiving node id (parallel to ``sender``)
+eid       ``array('q')`` dense directed-edge id, in ``Node.send`` call order
+bits      ``array('q')`` charged message size in bits (parallel to ``eid``)
 payload   list           payload object reference (parallel)
-bits      ``array('q')`` charged message size in bits (parallel)
 ========  =============  ====================================================
+
+Edge ids are assigned once, at an edge's first-ever send, and identify
+the edge's permanent :class:`_EdgeQueue` (which holds the sender and
+receiver, so the columns don't repeat them per message).  Staging
+buffers are **cleared in place** after every commit, never reallocated
+-- the block fast path ping-pongs two buffer sets, so steady-state runs
+allocate staging storage a constant number of times total
+(``stage_reuse_ratio`` in the ``columnar_summary`` event tracks it).
+
+**Block fast path.**  When a flush arrives with no edge mid-transmission
+and every per-edge sum within ``B`` (the common case for well-behaved
+CONGEST programs, which respect the per-round budget), the entire
+staged round completes exactly one round later as a single *block*: no
+per-message queue appends, no clock installs -- ``deliver_round`` emits
+the block straight from the staged columns in first-appearance edge
+order, which is precisely the baseline link-dict's insertion order.  A
+flush while a block is pending first *materializes* the block into the
+per-edge queues (byte-identical to having taken the general path), so
+arbitrary flush/deliver/skip interleavings stay exact.
 
 The staging order is exactly the serial engines' send order (node-id
 order within a round, program send order within a node), and per-edge
-FIFOs are keyed by a monotonically increasing creation sequence, so
+FIFOs are keyed by a monotonically increasing activation sequence, so
 deliveries, metrics and the opt-in message log are byte-identical to the
 baseline transport -- the cross-engine equivalence suite enforces this.
 
 Numpy policy: the stdlib layout *is* the reference semantics.  When
-numpy is importable a few bulk scans (column sums) use it; when it is
-absent everything runs on the stdlib ``array``/``list`` columns with
+numpy is importable the numpy kernels are selected by default; when it
+is absent everything runs on the stdlib ``array``/``list`` columns with
 identical results.  Nothing in this module requires numpy.
 
 :class:`MinEdgeIndex` is the batched min-edge reduction service used by
 the Boruvka/GKP fragment-minimum phases: incident edges are pre-sorted
 once per network by the canonical edge key, so each per-iteration
 "lightest outgoing edge" query is a prefix scan over the sorted incident
-list instead of a key construction per neighbour per query.  Engines opt
-in via ``Engine.uses_min_edge_index``; the legacy per-neighbour loop
-remains the reference path.
+list instead of a key construction per neighbour per query; with numpy
+kernels, high-degree nodes answer it as a masked first-eligible
+reduction over the key-sorted parallel columns.  Engines opt in via
+``Engine.uses_min_edge_index``; the legacy per-neighbour loop remains
+the reference path.
 """
 
 from __future__ import annotations
 
-import heapq
 from array import array
 from collections import defaultdict
 from typing import Any, Hashable
 
+from repro.congest.kernels import (
+    NUMPY_MIN_DEGREE,
+    NumpyKernels,
+    RoundGroup,
+    StdlibKernels,
+    resolve_kernels,
+)
 from repro.congest.message import Received
 from repro.congest.transport import BandwidthExceeded, LinkTransport
 
@@ -63,6 +98,9 @@ except ImportError:  # pragma: no cover - exercised by the numpy-absent guard
 #: round-trip; measured crossover is well under this conservative bound.
 _NUMPY_MIN_BATCH = 64
 
+#: Shared ``order`` for the single-message flush fast path.
+_RANGE_1 = range(1)
+
 
 def _sum_bits(bits: array) -> int:
     """Total of a staged bits column (numpy when present and worthwhile)."""
@@ -71,32 +109,46 @@ def _sum_bits(bits: array) -> int:
     return sum(bits)
 
 
-class _EdgeQueue:
-    """One live directed edge: FIFO columns plus lazy head accounting.
+def _transport_kernels(spec) -> type[StdlibKernels]:
+    """Kernel class for a transport: ``None``/``"auto"`` follows this
+    module's numpy guard (so forcing ``columnar._np = None`` flips new
+    transports to the stdlib reference); pinned specs go through
+    :func:`repro.congest.kernels.resolve_kernels` unchanged."""
+    if spec is None or spec == "auto":
+        return NumpyKernels if _np is not None else StdlibKernels
+    return resolve_kernels(spec)
 
-    ``head`` indexes the first undelivered message in the ``payloads`` /
-    ``bits`` columns; ``head_rem`` is the head's remaining bits as of
-    clock ``head_clock`` (the transport does *not* decrement it each
-    round -- the remainder at any later clock ``c`` is
+
+class _EdgeQueue:
+    """One directed edge: FIFO columns plus lazy head accounting.
+
+    Queues are permanent -- created at the edge's first-ever send and
+    recycled across drain/revive cycles (columns cleared in place, never
+    reallocated).  ``head`` indexes the first undelivered message in the
+    ``recs`` / ``bits`` columns; ``head_rem`` is the head's remaining
+    bits as of clock ``head_clock`` (the transport does *not* decrement
+    it each round -- the remainder at any later clock ``c`` is
     ``head_rem - B * (c - head_clock)``, and the completion clock
-    ``head_clock + ceil(head_rem / B)`` is computed once and pushed on
-    the transport's delivery heap).  ``seq`` is the edge's creation
-    sequence number: it orders same-round completions exactly as the
-    baseline transport's insertion-ordered link dict does, including
+    ``head_clock + ceil(head_rem / B)`` is computed once and installed on
+    the kernel's edge-clock schedule).  ``seq`` is the edge's *activation*
+    sequence number, refreshed each time the edge goes from drained back
+    to live: it orders same-round completions exactly as the baseline
+    transport's insertion-ordered link dict does, including
     drain-then-revive reinsertion at the end.
     """
 
-    __slots__ = ("sender", "receiver", "seq", "payloads", "bits", "head", "head_clock", "head_rem")
+    __slots__ = ("sender", "receiver", "seq", "recs", "bits", "head", "head_clock", "head_rem", "live")
 
-    def __init__(self, sender: Hashable, receiver: Hashable, seq: int):
+    def __init__(self, sender: Hashable, receiver: Hashable):
         self.sender = sender
         self.receiver = receiver
-        self.seq = seq
-        self.payloads: list[Any] = []
+        self.seq = 0
+        self.recs: list[Any] = []
         self.bits: list[int] = []
         self.head = 0
         self.head_clock = 0
         self.head_rem = 0
+        self.live = False
 
 
 class ColumnarTransport(LinkTransport):
@@ -107,9 +159,11 @@ class ColumnarTransport(LinkTransport):
     ``rounds_until_delivery`` / ``skip_rounds`` operations and read the
     identical metrics), different cost model:
 
-    - staging is four column appends, not an object allocation;
+    - staging is three column appends, not an object allocation;
     - a quiet live edge costs nothing per round (no per-head decrement);
-    - ``deliver_round`` touches only the edges whose head completes;
+    - ``deliver_round`` touches only the edges whose head completes, and
+      an all-fitting round with no carry-over traffic is delivered as one
+      block straight from the staged columns;
     - ``rounds_until_delivery`` / ``pending_traffic`` are O(1).
 
     Shard staging (the parallel engine's thread-local outboxes) is not
@@ -121,153 +175,345 @@ class ColumnarTransport(LinkTransport):
     #: can sample per-round batch sizes without an engine round-trip.
     wants_trace = True
 
-    def __init__(self, bandwidth: int, strict: bool = False, record_messages: bool = False):
+    def __init__(
+        self,
+        bandwidth: int,
+        strict: bool = False,
+        record_messages: bool = False,
+        kernels: Any = None,
+    ):
         super().__init__(bandwidth, strict=strict, record_messages=record_messages)
+        #: The kernel instance chosen once for this transport's lifetime
+        #: (it owns the edge-clock schedule; the batch ops are static).
+        self.kernels = _transport_kernels(kernels)()
+        #: Pre-bound hottest kernel op (one lookup per flush, not two).
+        self._group_round = self.kernels.group_round
         # Staging: parallel struct-of-arrays columns (see module docstring
-        # for the documented column order).
-        self._stage_senders: list[Hashable] = []
-        self._stage_receivers: list[Hashable] = []
-        self._stage_payloads: list[Any] = []
-        self._stage_bits: array = array("q")
-        # Live edges: creation-ordered (sender, receiver) -> _EdgeQueue.
-        self._cols: dict[tuple[Hashable, Hashable], _EdgeQueue] = {}
-        # (completion clock, edge seq, queue): exactly one entry per live
-        # edge, no stale entries -- popped when (and only when) the head
-        # completes, pushed when a new head is installed.
-        self._heap: list[tuple[int, int, _EdgeQueue]] = []
+        # for the documented column order), cleared in place per flush.  A
+        # "bundle" carries a buffer set together with its bound appends so
+        # the block fast path's ping-pong swap is six attribute writes --
+        # no per-flush bound-method creation.
+        eids: array = array("q")
+        bits: array = array("q")
+        recs: list[Any] = []
+        self._adopt_stage((eids, bits, recs, eids.append, bits.append, recs.append))
+        # Second buffer bundle for the block fast path's ping-pong (the
+        # block owns one set while the other stages the next round).
+        self._spare: tuple | None = None
+        # A committed all-fitting round awaiting its one-round delivery:
+        # (eids, bits, recs, RoundGroup, bundle), or None.
+        self._block: tuple | None = None
+        # Permanent edge identity: sender -> {receiver -> dense eid} (two
+        # plain-key lookups beat allocating and hashing an edge tuple per
+        # message), and the eid-indexed queue registry (queues are
+        # recycled, never dropped).
+        self._edge_ids: dict[Hashable, dict[Hashable, int]] = {}
+        self._queues: list[_EdgeQueue] = []
+        self._live = 0  # queues currently carrying traffic (excludes block)
         self._clock = 0  # rounds executed or skipped so far
-        self._seq = 0  # edge creation counter (orders same-round deliveries)
+        self._seq = 0  # edge activation counter (orders same-round deliveries)
         # Telemetry (read by ColumnarEngine's run-end summary event).
         self.trace = None
         self.flush_batches = 0
         self.max_flush_messages = 0
         self.peak_live_edges = 0
+        self.block_batches = 0
+        self.stage_allocs = 1  # buffer sets ever allocated (1 = the initial set)
 
     # -- staging ---------------------------------------------------------------
 
+    def _adopt_stage(self, bundle: tuple) -> None:
+        """Make ``bundle`` the active staging set.  The bound appends ride
+        in the bundle (``enqueue`` is the highest-call-count method; three
+        bound-method calls beat three attribute-chain lookups per message,
+        and keeping the bindings with their buffers makes a swap free)."""
+        self._bundle = bundle
+        (
+            self._stage_eids,
+            self._stage_bits,
+            self._stage_recs,
+            self._append_eid,
+            self._append_bits,
+            self._append_rec,
+        ) = bundle
+
     def enqueue(self, sender: Hashable, receiver: Hashable, payload: Any, bits: int, round_no: int) -> None:
-        """Stage one message as a row across the four columns."""
+        """Stage one message as a row across the three columns.
+
+        The record column stages the finished :class:`Received` tuple
+        (it is immutable and its fields are all known here), so delivery
+        appends staged objects instead of constructing per message.
+        """
         if self.strict and bits > self.bandwidth:
+            # Totals are normally folded in at the flush barrier; an abort
+            # mid-round must first account the already-staged messages so
+            # the counters match the baseline's per-enqueue accounting.
+            self.total_messages += len(self._stage_recs)
+            self.total_bits += self.kernels.sum_bits(self._stage_bits)
             raise BandwidthExceeded(
                 f"message of {bits} bits exceeds B={self.bandwidth} on edge "
                 f"{sender!r}->{receiver!r}"
             )
-        self._stage_senders.append(sender)
-        self._stage_receivers.append(receiver)
-        self._stage_payloads.append(payload)
-        self._stage_bits.append(bits)
-        self.total_messages += 1
-        self.total_bits += bits
+        try:
+            # Steady state: the edge exists, one chained lookup.
+            eid = self._edge_ids[sender][receiver]
+        except KeyError:
+            row = self._edge_ids.setdefault(sender, {})
+            eid = row[receiver] = len(self._queues)
+            self._queues.append(_EdgeQueue(sender, receiver))
+        self._append_eid(eid)
+        self._append_bits(bits)
+        self._append_rec(Received(sender, payload, bits))
+        # total_messages / total_bits are folded in at the flush barrier
+        # (one batched update per round instead of two per message).
         if self.record_messages:
             self.message_log.append((round_no, sender, receiver, bits))
+
+    def enqueue_many(self, sender: Hashable, receivers: list[Hashable], payload: Any, bits: int, round_no: int) -> None:
+        """Stage one payload to several receivers in a single pass.
+
+        Semantically a loop over :meth:`enqueue` with a shared (payload,
+        bits) row; the strict check and all per-message state hoist out of
+        the loop, which matters because broadcasts dominate the message
+        volume of the GKP phases.  One :class:`Received` instance serves
+        every receiver (the tuple is immutable and identical for all of
+        them), so a degree-``d`` broadcast stages ``d`` references but
+        performs a single construction.
+        """
+        if self.strict and bits > self.bandwidth:
+            if not receivers:
+                return
+            self.total_messages += len(self._stage_recs)
+            self.total_bits += self.kernels.sum_bits(self._stage_bits)
+            raise BandwidthExceeded(
+                f"message of {bits} bits exceeds B={self.bandwidth} on edge "
+                f"{sender!r}->{receivers[0]!r}"
+            )
+        row = self._edge_ids.get(sender)
+        if row is None:
+            row = self._edge_ids[sender] = {}
+        try:
+            # Steady state: every receiver already has an edge id, so the
+            # whole id column extends in one C-level pass.
+            self._stage_eids.extend([row[receiver] for receiver in receivers])
+        except KeyError:
+            queues = self._queues
+            append_eid = self._append_eid
+            for receiver in receivers:
+                eid = row.get(receiver)
+                if eid is None:
+                    eid = len(queues)
+                    row[receiver] = eid
+                    queues.append(_EdgeQueue(sender, receiver))
+                append_eid(eid)
+        n = len(receivers)
+        self._stage_bits.extend([bits] * n)
+        self._stage_recs.extend([Received(sender, payload, bits)] * n)
+        if self.record_messages:
+            self.message_log.extend(
+                (round_no, sender, receiver, bits) for receiver in receivers
+            )
 
     def begin_shard_staging(self) -> None:
         raise RuntimeError("columnar transport is single-writer; no shard staging")
 
     def has_outgoing(self) -> bool:
-        return bool(self._stage_senders)
+        return bool(self._stage_recs)
 
     def flush(self) -> None:
-        """Commit the staged columns to the per-edge queues (round barrier)."""
-        senders = self._stage_senders
-        n = len(senders)
+        """Commit the staged columns (round barrier): as a pending block
+        when nothing is mid-transmission and every edge fits its budget,
+        otherwise into the per-edge queues."""
+        n = len(self._stage_recs)
         if n == 0:
             return
-        receivers = self._stage_receivers
-        payloads = self._stage_payloads
-        bits_col = self._stage_bits
+        if self._block is not None:
+            # A second flush before the pending block's delivery round:
+            # fold the block into the per-edge queues first, exactly as if
+            # its flush had taken the general path.
+            self._materialize_block()
         bw = self.bandwidth
-        if self.strict:
-            # Per-edge budget check as one column scan, raising *before*
-            # anything is committed (first offending edge in first-seen
-            # order, matching the baseline transport's message exactly).
-            per_edge: dict[tuple[Hashable, Hashable], int] = {}
-            for i in range(n):
-                edge = (senders[i], receivers[i])
-                per_edge[edge] = per_edge.get(edge, 0) + bits_col[i]
-            for (u, v), bits in per_edge.items():
+        eids = self._stage_eids
+        bits_col = self._stage_bits
+        recs = self._stage_recs
+        if n == 1:
+            # Single staged message (common in sparse negotiation phases):
+            # the grouping is trivial, so build it inline instead of
+            # paying two kernel dispatches.  Field-for-field identical to
+            # what either kernel's ``group_round`` returns for one row.
+            b0 = bits_col[0]
+            group = RoundGroup(_RANGE_1, (eids[0],), (b0,), None, b0, b0 <= bw, b0)
+        else:
+            group = self._group_round(eids, bits_col, bw)
+        # Batched totals: the baseline counts per enqueue, but by the time
+        # anything can observe them (the flush barrier -- including a
+        # strict-mode failure, which counts the whole staged round first,
+        # exactly as per-enqueue counting would have) the values agree.
+        self.total_messages += n
+        self.total_bits += group.total_bits
+        if self.strict and not group.all_fit:
+            # Raise *before* anything is committed (first offending edge in
+            # first-seen order, matching the baseline message exactly).
+            for eid, bits in zip(group.edge_order, group.edge_sums):
                 if bits > bw:
+                    queue = self._queues[eid]
                     raise BandwidthExceeded(
-                        f"{bits} bits queued on edge {u!r}->{v!r} in one round "
-                        f"(B={bw})"
+                        f"{bits} bits queued on edge {queue.sender!r}->{queue.receiver!r} "
+                        f"in one round (B={bw})"
                     )
-        cols = self._cols
-        heap = self._heap
-        clock = self._clock
-        for i in range(n):
-            edge = (senders[i], receivers[i])
-            queue = cols.get(edge)
-            if queue is None:
-                self._seq += 1
-                queue = _EdgeQueue(senders[i], receivers[i], self._seq)
-                bits = bits_col[i]
-                queue.payloads.append(payloads[i])
-                queue.bits.append(bits)
-                queue.head_clock = clock
-                queue.head_rem = bits
-                heapq.heappush(heap, (clock + -(-bits // bw), queue.seq, queue))
-                cols[edge] = queue
+        if self._live == 0 and group.all_fit:
+            # Block fast path: the whole round completes at clock+1.  The
+            # block takes ownership of the staged buffer bundle; staging
+            # switches to the spare bundle (recycled from the previous
+            # block).
+            self._block = (eids, bits_col, recs, group, self._bundle)
+            self.block_batches += 1
+            live = len(group.edge_order)
+            spare = self._spare
+            if spare is None:
+                e2: array = array("q")
+                b2: array = array("q")
+                r2: list[Any] = []
+                spare = (e2, b2, r2, e2.append, b2.append, r2.append)
+                self.stage_allocs += 1
             else:
-                queue.payloads.append(payloads[i])
-                queue.bits.append(bits_col[i])
-        self._pending_bits += _sum_bits(bits_col)
+                self._spare = None
+            self._adopt_stage(spare)
+            path = "block"
+        else:
+            self._commit_rows(eids, bits_col, recs)
+            live = self._live
+            del eids[:]
+            del bits_col[:]
+            recs.clear()
+            path = "grouped"
+        self._pending_bits += group.total_bits
         self.flush_batches += 1
         if n > self.max_flush_messages:
             self.max_flush_messages = n
-        live = len(cols)
         if live > self.peak_live_edges:
             self.peak_live_edges = live
         trace = self.trace
         if trace is not None and trace.enabled:
-            trace.event("columnar_batch", clock=clock, staged=n, live_edges=live)
-        self._stage_senders = []
-        self._stage_receivers = []
-        self._stage_payloads = []
-        self._stage_bits = array("q")
+            trace.event("columnar_batch", clock=self._clock, staged=n, live_edges=live, path=path)
+
+    def _commit_rows(self, eids: array, bits_col: array, recs: list[Any]) -> None:
+        """The general commit: append rows to their edge queues, activating
+        drained queues with a fresh sequence number (the baseline link
+        dict's drain-then-revive insertion order) and installing their head
+        completion on the kernel's edge clock."""
+        clock = self._clock
+        bw = self.bandwidth
+        queues = self._queues
+        kernels = self.kernels
+        for i, eid in enumerate(eids):
+            queue = queues[eid]
+            b = bits_col[i]
+            queue.recs.append(recs[i])
+            queue.bits.append(b)
+            if not queue.live:
+                queue.live = True
+                self._live += 1
+                self._seq += 1
+                queue.seq = self._seq
+                queue.head = 0
+                queue.head_clock = clock
+                queue.head_rem = b
+                kernels.clock_install(eid, clock + -(-b // bw), self._seq)
+
+    def _materialize_block(self) -> None:
+        """Convert the pending block into live per-edge queues -- the state
+        the general path would have produced at the block's flush (the
+        clock has not advanced since: a delivery would have consumed the
+        block, and a skip would have raised)."""
+        eids, bits_col, recs, _group, bundle = self._block
+        self._block = None
+        self._commit_rows(eids, bits_col, recs)
+        del eids[:]
+        del bits_col[:]
+        recs.clear()
+        self._spare = bundle
 
     # -- advancing -------------------------------------------------------------
 
     def deliver_round(self) -> dict[Hashable, list[Received]]:
         """Advance one round; touch only the edges whose head completes.
 
-        Every live edge moves exactly ``B`` bits this round unless its
-        head completes (then it moves its remainder plus any cascade of
-        queued messages fitting the leftover budget) -- so the per-round
-        bit total is reconstructed from the completing edges alone, and
-        the non-completing majority costs O(1) in aggregate.
+        A pending block is emitted straight from its staged columns, in
+        first-appearance edge order (the baseline link-dict insertion
+        order), FIFO within each edge.  On the general path, every live
+        edge moves exactly ``B`` bits this round unless its head completes
+        (then it moves its remainder plus any cascade of queued messages
+        fitting the leftover budget) -- so the per-round bit total is
+        reconstructed from the completing edges alone, and the
+        non-completing majority costs O(1) in aggregate.
         """
         self._clock += 1
         clock = self._clock
         bw = self.bandwidth
-        cols = self._cols
-        heap = self._heap
-        inboxes: dict[Hashable, list[Received]] = defaultdict(list)
-        live = len(cols)
+        block = self._block
+        if block is not None:
+            inboxes: dict[Hashable, list[Received]] = defaultdict(list)
+            self._block = None
+            eids, bits_col, recs, group, bundle = block
+            queues = self._queues
+            order = group.order
+            if type(order) is range:
+                # One message per edge, already in staging order: the
+                # staged records land directly, one append per message.
+                for eid, rec in zip(eids, recs):
+                    inboxes[queues[eid].receiver].append(rec)
+            else:
+                # Repeated edges: walk the per-edge runs so the queue and
+                # inbox lookups happen once per edge rather than once per
+                # message; each run lands as one comprehension-built
+                # extend of already-staged records.
+                pos = 0
+                for eid, count in zip(group.edge_order, group.edge_counts):
+                    end = pos + count
+                    inboxes[queues[eid].receiver].extend(
+                        [recs[i] for i in order[pos:end]]
+                    )
+                    pos = end
+            if group.max_sum > self.max_edge_bits_per_round:
+                self.max_edge_bits_per_round = group.max_sum
+            self.per_round_bits.append(group.total_bits)
+            self._pending_bits -= group.total_bits
+            del eids[:]
+            del bits_col[:]
+            recs.clear()
+            self._spare = bundle
+            return inboxes
+        live = self._live
+        if live == 0:
+            # Quiet round: no allocation beyond the empty result dict.
+            self.per_round_bits.append(0)
+            return {}
+        inboxes = defaultdict(list)
+        queues = self._queues
         completed = 0
         round_bits = 0
         max_used = 0
-        while heap and heap[0][0] == clock:
-            _, _, queue = heapq.heappop(heap)
+        for eid in self.kernels.clock_due(clock):
+            queue = queues[eid]
             completed += 1
             # Remaining at the start of this round, derived lazily: the
             # head had head_rem bits at head_clock and moved B per round
-            # since.  1 <= rem <= B because the heap said "completes now".
+            # since.  1 <= rem <= B because the clock said "completes now".
             rem = queue.head_rem - bw * (clock - 1 - queue.head_clock)
             budget = bw - rem
-            receiver = queue.receiver
-            sender = queue.sender
-            payloads = queue.payloads
+            recs = queue.recs
             bits_list = queue.bits
-            inbox = inboxes[receiver]
+            inbox = inboxes[queue.receiver]
             i = queue.head
             total = len(bits_list)
-            inbox.append(Received(sender, payloads[i], bits_list[i]))
-            payloads[i] = None  # delivered payloads are dead; free the ref
+            inbox.append(recs[i])
+            recs[i] = None  # delivered records are dead; free the ref
             i += 1
             while i < total and bits_list[i] <= budget:
                 budget -= bits_list[i]
-                inbox.append(Received(sender, payloads[i], bits_list[i]))
-                payloads[i] = None
+                inbox.append(recs[i])
+                recs[i] = None
                 i += 1
             if i < total:
                 # New head starts mid-round with the leftover budget
@@ -276,14 +522,19 @@ class ColumnarTransport(LinkTransport):
                 queue.head = i
                 queue.head_clock = clock
                 queue.head_rem = bits_list[i] - budget
-                heapq.heappush(heap, (clock + -(-queue.head_rem // bw), queue.seq, queue))
+                self.kernels.clock_install(eid, clock + -(-queue.head_rem // bw), queue.seq)
                 if i > 32 and 2 * i > total:
-                    del payloads[:i]
+                    del recs[:i]
                     del bits_list[:i]
                     queue.head = 0
             else:
+                # Drained: recycle the queue in place for the next revival.
                 used = bw - budget
-                del cols[(sender, receiver)]
+                queue.live = False
+                queue.head = 0
+                recs.clear()
+                bits_list.clear()
+                self._live -= 1
             round_bits += used
             if used > max_used:
                 max_used = used
@@ -297,10 +548,13 @@ class ColumnarTransport(LinkTransport):
         return inboxes
 
     def rounds_until_delivery(self) -> int | None:
-        """O(1): the heap's earliest completion clock minus the clock."""
-        if not self._cols:
+        """O(1): a pending block completes next round; otherwise the
+        kernel clock's earliest completion minus the current clock."""
+        if self._block is not None:
+            return 1
+        if self._live == 0:
             return None
-        return self._heap[0][0] - self._clock
+        return self.kernels.clock_min() - self._clock
 
     def skip_rounds(self, rounds: int) -> int:
         """Account a quiet stretch without touching any edge state.
@@ -312,10 +566,18 @@ class ColumnarTransport(LinkTransport):
         if rounds <= 0:
             return 0
         bw = self.bandwidth
-        live = len(self._cols)
+        if self._block is not None:
+            # The block completes next round, so any skip crosses it.
+            bits_col = self._block[1]
+            raise RuntimeError(
+                "skip_rounds crossed a delivery: "
+                f"{rounds} rounds x B={bw} >= {bits_col[0]} bits remaining"
+            )
+        live = self._live
         if live:
-            head_clock, _, queue = self._heap[0]
-            if rounds >= head_clock - self._clock:
+            completion, eid = self.kernels.clock_min_edge()
+            if rounds >= completion - self._clock:
+                queue = self._queues[eid]
                 remaining = queue.head_rem - bw * (self._clock - queue.head_clock)
                 raise RuntimeError(
                     "skip_rounds crossed a delivery: "
@@ -337,7 +599,18 @@ class ColumnarTransport(LinkTransport):
     @property
     def live_edges(self) -> int:
         """Directed edges currently carrying traffic."""
-        return len(self._cols)
+        if self._block is not None:
+            return len(self._block[3].edge_order)
+        return self._live
+
+    @property
+    def stage_reuse_ratio(self) -> float:
+        """Fraction of non-empty flushes served by a recycled buffer set
+        (1.0 means steady-state staging never allocated)."""
+        if self.flush_batches == 0:
+            return 1.0
+        reused = self.flush_batches - self.stage_allocs
+        return max(0.0, reused / self.flush_batches)
 
 
 class MinEdgeIndex:
@@ -352,10 +625,24 @@ class MinEdgeIndex:
     per-neighbour minimum (unique keys make the minimum iteration-order
     independent), at amortised O(edges log edges) total build cost per
     network instead of O(degree) key tuples per node per iteration.
+
+    With numpy kernels, nodes of degree >=
+    :data:`~repro.congest.kernels.NUMPY_MIN_DEGREE` answer the query as a
+    masked first-eligible reduction over the key-sorted parallel repr
+    column (the first eligible entry *is* the argmin, keys being sorted
+    and unique); smaller nodes keep the early-exit prefix scan, which
+    wins below that size.  Both paths return identical results.
     """
 
-    def __init__(self, graph, weight_key: str = "weight"):
+    def __init__(self, graph, weight_key: str = "weight", kernels: Any = None):
+        self._kernels = kernels if kernels is not None else StdlibKernels
+        use_numpy = getattr(self._kernels, "name", "stdlib") == "numpy"
         self._incident: dict[Hashable, list[tuple[tuple, Hashable, str]]] = {}
+        #: Key-sorted neighbour-repr column per node (parallel to
+        #: ``_incident[u]``), the input to the masked reduction.
+        self._reprs: dict[Hashable, list[str]] = {}
+        #: Nodes answered by the kernel reduction instead of the scan.
+        self._vector_nodes: set = set()
         edges = graph.edges
         for u in graph.nodes():
             u_repr = repr(u)
@@ -367,13 +654,25 @@ class MinEdgeIndex:
                 entries.append(((weight, a, b), v, v_repr))
             entries.sort(key=lambda entry: entry[0])
             self._incident[u] = entries
+            self._reprs[u] = [entry[2] for entry in entries]
+            if use_numpy and len(entries) >= NUMPY_MIN_DEGREE:
+                self._vector_nodes.add(u)
 
     def min_outgoing(self, node_id: Hashable, label_of: dict, my_label) -> tuple | None:
         """Mirror of ``mst._min_outgoing``: lightest incident edge whose
         neighbour's label differs (labels compared with ``==``; unknown
         neighbours default to ``my_label`` and are skipped).  Returns
         ``(key, node_id, neighbour)`` or ``None``."""
-        for key, neighbor, neighbor_repr in self._incident[node_id]:
+        entries = self._incident[node_id]
+        if node_id in self._vector_nodes:
+            get = label_of.get
+            flags = [get(r, my_label) != my_label for r in self._reprs[node_id]]
+            i = self._kernels.first_eligible(flags)
+            if i < 0:
+                return None
+            key, neighbor, _ = entries[i]
+            return (key, node_id, neighbor)
+        for key, neighbor, neighbor_repr in entries:
             if label_of.get(neighbor_repr, my_label) == my_label:
                 continue
             return (key, node_id, neighbor)
@@ -386,7 +685,19 @@ class MinEdgeIndex:
         and tree-edge neighbours (``exclude_reprs``) skipped.  Returns
         ``(key, neighbour, neighbour_label)`` or ``None``."""
         my_repr = repr(my_label)
-        for key, neighbor, neighbor_repr in self._incident[node_id]:
+        entries = self._incident[node_id]
+        if node_id in self._vector_nodes:
+            get = label_of.get
+            flags = [
+                r not in exclude_reprs and repr(get(r, my_label)) != my_repr
+                for r in self._reprs[node_id]
+            ]
+            i = self._kernels.first_eligible(flags)
+            if i < 0:
+                return None
+            key, neighbor, neighbor_repr = entries[i]
+            return (key, neighbor, label_of.get(neighbor_repr, my_label))
+        for key, neighbor, neighbor_repr in entries:
             other_label = label_of.get(neighbor_repr, my_label)
             if repr(other_label) == my_repr or neighbor_repr in exclude_reprs:
                 continue

@@ -50,7 +50,8 @@ from concurrent.futures import ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Hashable, Sequence
 
-from repro.congest.columnar import ColumnarTransport
+from repro.congest.columnar import ColumnarTransport, _transport_kernels
+from repro.congest.kernels import numpy_available
 from repro.congest.transport import LinkTransport
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -149,6 +150,12 @@ class Engine:
 
     def run(self, network: "CongestNetwork", max_rounds: int, stop_on_quiescence: bool) -> RunResult:
         raise NotImplementedError
+
+    def build_transport(self, bandwidth: int, strict: bool = False, record_messages: bool = False):
+        """Construct this engine's transport.  Engines whose transport takes
+        extra configuration (the columnar engine's kernel choice) override
+        this instead of making the network aware of it."""
+        return self.transport_class(bandwidth, strict=strict, record_messages=record_messages)
 
     def _execute_plan(self, network: "CongestNetwork", plan: StepPlan) -> None:
         """Run one round's step phase; subclasses may shard or batch it."""
@@ -557,6 +564,20 @@ class ColumnarEngine(EventEngine):
     transport_class = ColumnarTransport
     uses_min_edge_index = True
 
+    def __init__(self, kernels: str | None = "auto") -> None:
+        super().__init__()
+        #: Kernel implementation, resolved ONCE here (never re-probed per
+        #: call): the transport's batch scans, the network's pre-sorted
+        #: min-edge index and the kernel-aware reductions all inherit it.
+        #: Resolution goes through the columnar module's gate so its
+        #: numpy-availability flag is the single source of truth.
+        self.kernels = _transport_kernels(kernels)
+
+    def build_transport(self, bandwidth: int, strict: bool = False, record_messages: bool = False):
+        return ColumnarTransport(
+            bandwidth, strict=strict, record_messages=record_messages, kernels=self.kernels
+        )
+
     def run(self, network: "CongestNetwork", max_rounds: int, stop_on_quiescence: bool) -> RunResult:
         result = super().run(network, max_rounds, stop_on_quiescence)
         transport = network.transport
@@ -564,9 +585,12 @@ class ColumnarEngine(EventEngine):
         if trace.enabled and isinstance(transport, ColumnarTransport):
             trace.event(
                 "columnar_summary",
+                kernels=transport.kernels.name,
                 flush_batches=transport.flush_batches,
                 max_batch=transport.max_flush_messages,
                 peak_live_edges=transport.peak_live_edges,
+                block_batches=transport.block_batches,
+                stage_reuse_ratio=round(transport.stage_reuse_ratio, 4),
             )
         return result
 
@@ -576,17 +600,48 @@ _ENGINES = {
     "event": EventEngine,
     "parallel": ParallelEngine,
     "columnar": ColumnarEngine,
+    # Kernel-pinned columnar variants (lockstep tests, benchmarks, CI legs).
+    "columnar-stdlib": lambda: ColumnarEngine(kernels="stdlib"),
+    "columnar-numpy": lambda: ColumnarEngine(kernels="numpy"),
+    # Resolved from the workload shape in get_engine(); the entry exists so
+    # the name appears in listings and in the unknown-engine error.
+    "auto": None,
 }
 
+#: At or below this node count ``engine="auto"`` picks the dense reference:
+#: the event clock's scheduling machinery costs more than stepping a
+#: handful of nodes every round.
+AUTO_DENSE_NODES = 8
 
-def get_engine(spec: str | Engine, threads: int | None = None) -> Engine:
+
+def _auto_engine(graph) -> Engine:
+    """Pick an engine from the workload shape and numpy availability.
+
+    Tiny instances run dense (reference semantics, nothing to amortise).
+    With numpy importable, everything else runs the columnar engine on the
+    numpy kernels.  Without numpy, mid-size instances stay on the event
+    engine: the columnar layout's margin over it comes mostly from the
+    batch kernels, so there is little to gain by switching layouts.
+    """
+    if graph is not None and graph.number_of_nodes() <= AUTO_DENSE_NODES:
+        return DenseEngine()
+    if numpy_available():
+        return ColumnarEngine(kernels="numpy")
+    return EventEngine()
+
+
+def get_engine(spec: str | Engine, threads: int | None = None, *, graph=None) -> Engine:
     """Resolve an engine spec: an :class:`Engine` instance or a name.
 
     ``threads`` sizes the :class:`ParallelEngine` pool; it is ignored for
-    engines (and instances) that do not take a thread count.
+    engines (and instances) that do not take a thread count.  ``graph``
+    (optional) lets ``spec="auto"`` see the workload it is choosing for;
+    without it, auto falls back to numpy availability alone.
     """
     if isinstance(spec, Engine):
         return spec
+    if spec == "auto":
+        return _auto_engine(graph)
     try:
         cls = _ENGINES[spec]
     except KeyError:

@@ -1,0 +1,350 @@
+"""Kernel-dispatch seam for the columnar CONGEST hot loops.
+
+The columnar engine's batch operations -- staging-column scans, per-edge
+grouping with strict bandwidth accounting, the delivery-cascade
+completion scan, fragment-minimum reductions and the union-find edge
+sweep -- are expressed against a small *kernel* interface with two
+implementations:
+
+- :class:`StdlibKernels` -- the reference semantics, pure stdlib
+  (``heapq`` / ``dict`` / ``list``).  Always available; every numpy
+  kernel is defined as "byte-identical to this".
+- :class:`NumpyKernels` -- the same operations as vectorized ndarray
+  scans (``np.unique`` grouping, ``bincount`` per-edge sums, a dense
+  completion-clock array scanned with ``nonzero`` instead of a heap).
+
+Selection happens **once, at construction** (:func:`resolve_kernels`
+maps a spec string to a kernel class; transports/engines instantiate
+it), never per call -- the per-call ``len() >= threshold`` checks of the
+PR 7 columnar module are gone from the hot path.  The batch operations
+are ``@staticmethod``\\ s so the *class* doubles as a stateless kernel
+handle (``MinEdgeIndex``, ``component_count_mst_weight``); only the
+edge-clock state (the delivery heap / the dense completion array) lives
+on instances, one per transport.
+
+Dtype contract (see also ``docs/architecture.md``): staged bit counts
+and edge ids are 64-bit signed integers staged in ``array('q')`` columns
+-- ``np.frombuffer`` gives the numpy kernels zero-copy ``int64`` views
+of exactly the bytes the stdlib kernels iterate.  Completion clocks and
+creation sequence numbers are ``int64``; the idle sentinel ``_IDLE`` is
+``2**62`` (no simulated clock gets within a factor of two of it).
+"""
+
+from __future__ import annotations
+
+import heapq
+from array import array
+from typing import Any, NamedTuple
+
+try:  # optional fast path; the stdlib kernels are the reference semantics
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    _np = None
+
+#: Completion-clock value of an idle edge in the dense numpy clock array.
+_IDLE = 1 << 62
+
+#: Minimum sorted-incident-list length before the numpy fragment-minimum
+#: mask-and-reduce beats the stdlib prefix scan (which exits at the first
+#: eligible edge); below it both kernel classes use the prefix scan.
+NUMPY_MIN_DEGREE = 32
+
+#: Minimum staged-round size before the ndarray grouping beats the dict
+#: loop: ``np.unique`` sorts, so its advantage only shows once the batch
+#: is big enough to amortise the fixed ndarray setup (measured crossover
+#: ~100-130 rows; a two-message flush never gets close).  This is a
+#: size-adaptive *algorithm* inside the numpy kernel, not a per-call
+#: availability check: the kernel class is still chosen once at
+#: construction.
+NUMPY_MIN_GROUP = 128
+
+
+def numpy_available() -> bool:
+    """Whether the numpy kernels can be selected in this process."""
+    return _np is not None
+
+
+class RoundGroup(NamedTuple):
+    """One staged round grouped by directed edge (the flush kernel output).
+
+    ``order`` lists message indices grouped by edge -- edges in
+    first-appearance order, FIFO within each edge -- which is exactly the
+    insertion order of the baseline transport's link dict; when every
+    staged message sits on a distinct edge it is simply ``range(n)``.
+    ``edge_order`` / ``edge_sums`` are parallel per-edge columns in that
+    same first-appearance order (list or int64 ndarray -- consumers only
+    ``len``/iterate them, and only off the hot path).  ``edge_counts``
+    carries the per-edge message counts (the run lengths of ``order``)
+    whenever ``order`` is a materialised list -- the block delivery loop
+    uses the runs to hoist its per-edge lookups out of the per-message
+    loop; when ``order`` is a ``range`` every count is 1 and the field is
+    ``None``.
+    """
+
+    order: Any  # list[int] | range
+    edge_order: Any  # list[int] | int64 ndarray
+    edge_sums: Any  # list[int] | int64 ndarray
+    edge_counts: Any  # list[int] | None (None iff order is a range)
+    total_bits: int
+    all_fit: bool  # every per-edge sum <= bandwidth
+    max_sum: int  # the largest per-edge sum (0 for an empty round)
+
+
+class StdlibKernels:
+    """Reference kernels: stdlib containers, loops in staging order."""
+
+    name = "stdlib"
+
+    # -- stateless batch ops ------------------------------------------------
+
+    @staticmethod
+    def sum_bits(bits: array) -> int:
+        """Total of a staged bits column."""
+        return sum(bits)
+
+    @staticmethod
+    def group_round(eids: array, bits: array, bandwidth: int) -> RoundGroup:
+        """Group one staged round by directed edge (see :class:`RoundGroup`)."""
+        n = len(eids)
+        if n == 0:
+            return RoundGroup(range(0), [], [], None, 0, True, 0)
+        if n == 1:
+            b = bits[0]
+            return RoundGroup(range(1), [eids[0]], [b], None, b, b <= bandwidth, b)
+        if n == 2:
+            b0, b1 = bits[0], bits[1]
+            e0, e1 = eids[0], eids[1]
+            if e0 == e1:
+                s = b0 + b1
+                return RoundGroup(range(2), [e0], [s], None, s, s <= bandwidth, s)
+            m = b0 if b0 >= b1 else b1
+            return RoundGroup(range(2), [e0, e1], [b0, b1], None, b0 + b1, m <= bandwidth, m)
+        groups: dict[int, list[int]] = {}
+        sums: dict[int, int] = {}
+        total = 0
+        for i, eid in enumerate(eids):
+            b = bits[i]
+            total += b
+            bucket = groups.get(eid)
+            if bucket is None:
+                groups[eid] = [i]
+                sums[eid] = b
+            else:
+                bucket.append(i)
+                sums[eid] += b
+        edge_order = list(groups)
+        edge_sums = [sums[eid] for eid in edge_order]
+        if len(edge_order) == n:
+            order: Any = range(n)  # one message per edge: already grouped
+            edge_counts = None
+        else:
+            buckets = list(groups.values())
+            order = [i for bucket in buckets for i in bucket]
+            edge_counts = [len(bucket) for bucket in buckets]
+        max_sum = max(edge_sums)
+        return RoundGroup(
+            order, edge_order, edge_sums, edge_counts, total, max_sum <= bandwidth, max_sum
+        )
+
+    @staticmethod
+    def sort_edges_by_class(classes: list[int], us: list[int], vs: list[int]):
+        """Stable sort of integer edge triples by class (union-find sweep
+        order; stability keeps the stdlib/numpy union sequences identical)."""
+        order = sorted(range(len(classes)), key=classes.__getitem__)
+        return (
+            [classes[i] for i in order],
+            [us[i] for i in order],
+            [vs[i] for i in order],
+        )
+
+    @staticmethod
+    def first_eligible(flags) -> int:
+        """Index of the first truthy flag, or -1.  ``flags`` is an iterable
+        of eligibility booleans for a key-sorted incident edge list; the
+        first eligible entry *is* the fragment minimum (keys are unique)."""
+        for i, flag in enumerate(flags):
+            if flag:
+                return i
+        return -1
+
+    # -- edge-clock state (the delivery schedule) ---------------------------
+
+    def __init__(self) -> None:
+        # (completion clock, edge seq, eid): exactly one entry per live
+        # edge, no stale entries -- popped when (and only when) the head
+        # completes, pushed when a new head is installed.
+        self._heap: list[tuple[int, int, int]] = []
+
+    def clock_install(self, eid: int, completion: int, seq: int) -> None:
+        heapq.heappush(self._heap, (completion, seq, eid))
+
+    def clock_due(self, clock: int) -> list[int]:
+        """Pop and return the edges completing at ``clock``, in creation-
+        sequence order (the heap orders ties by seq)."""
+        heap = self._heap
+        due: list[int] = []
+        while heap and heap[0][0] == clock:
+            due.append(heapq.heappop(heap)[2])
+        return due
+
+    def clock_min(self) -> int | None:
+        """Earliest scheduled completion clock, or None when idle."""
+        return self._heap[0][0] if self._heap else None
+
+    def clock_min_edge(self) -> tuple[int, int] | None:
+        """(earliest completion clock, its lowest-seq edge), or None."""
+        if not self._heap:
+            return None
+        completion, _seq, eid = self._heap[0]
+        return completion, eid
+
+
+class NumpyKernels(StdlibKernels):
+    """Vectorized kernels; every result is byte-identical to the stdlib
+    reference (the randomized lockstep suite in ``tests/test_kernels.py``
+    enforces it).  Raises at construction/selection when numpy is absent.
+    """
+
+    name = "numpy"
+
+    @staticmethod
+    def sum_bits(bits: array) -> int:
+        if not bits:
+            return 0
+        return int(_np.frombuffer(bits, dtype=_np.int64).sum())
+
+    @staticmethod
+    def group_round(eids: array, bits: array, bandwidth: int) -> RoundGroup:
+        # Delegate below the measured crossover -- and always for an empty
+        # column, which the reductions below cannot represent.
+        if len(eids) < NUMPY_MIN_GROUP or not eids:
+            return StdlibKernels.group_round(eids, bits, bandwidth)
+        keys = _np.frombuffer(eids, dtype=_np.int64)
+        b = _np.frombuffer(bits, dtype=_np.int64)
+        uniq, first, inverse = _np.unique(keys, return_index=True, return_inverse=True)
+        k = len(uniq)
+        n = len(keys)
+        # Per-edge sums over the sorted-unique axis.  float64 sums of int
+        # bit counts are exact far beyond any simulated budget (< 2^53).
+        sums = _np.bincount(inverse, weights=b, minlength=k).astype(_np.int64)
+        # Rank each unique edge by first appearance in the staging order --
+        # the baseline link dict's insertion order.
+        appearance = _np.argsort(first, kind="stable")
+        if k == n:
+            order: Any = range(n)
+            edge_order: Any = uniq[appearance]
+            edge_counts = None
+        else:
+            rank = _np.empty(k, dtype=_np.int64)
+            rank[appearance] = _np.arange(k)
+            order = _np.argsort(rank[inverse], kind="stable").tolist()
+            # The delivery loop walks these per-edge runs with plain-int
+            # indexing, so hand them over as lists (one C conversion here
+            # beats per-element ndarray boxing there).
+            edge_order = uniq[appearance].tolist()
+            edge_counts = _np.bincount(inverse, minlength=k)[appearance].tolist()
+        max_sum = int(sums.max())
+        return RoundGroup(
+            order,
+            edge_order,
+            sums[appearance],
+            edge_counts,
+            int(b.sum()),
+            max_sum <= bandwidth,
+            max_sum,
+        )
+
+    @staticmethod
+    def sort_edges_by_class(classes: list[int], us: list[int], vs: list[int]):
+        order = _np.argsort(_np.asarray(classes, dtype=_np.int64), kind="stable")
+        cls = _np.asarray(classes, dtype=_np.int64)[order]
+        u_arr = _np.asarray(us, dtype=_np.int64)[order]
+        v_arr = _np.asarray(vs, dtype=_np.int64)[order]
+        return cls.tolist(), u_arr.tolist(), v_arr.tolist()
+
+    @staticmethod
+    def first_eligible(flags) -> int:
+        mask = _np.fromiter(flags, dtype=bool)
+        if not mask.any():
+            return -1
+        return int(mask.argmax())
+
+    # -- edge-clock state: dense completion/seq arrays ----------------------
+
+    def __init__(self) -> None:
+        if _np is None:  # pragma: no cover - guarded by resolve_kernels
+            raise ImportError("numpy kernels selected but numpy is not importable")
+        self._completion = _np.full(256, _IDLE, dtype=_np.int64)
+        self._seqs = _np.zeros(256, dtype=_np.int64)
+        self._hi = 0  # registered edge ids are < _hi
+        # Min over live completions, maintained incrementally: installs can
+        # only lower it (O(1) update) and pops happen only in clock_due,
+        # which refreshes it with one vectorised pass.  Keeps clock_min()
+        # O(1) -- the engine probes it once per executed round.
+        self._cached_min = _IDLE
+
+    def _ensure(self, eid: int) -> None:
+        if eid >= self._hi:
+            self._hi = eid + 1
+        cap = len(self._completion)
+        if eid >= cap:
+            while cap <= eid:
+                cap *= 2
+            completion = _np.full(cap, _IDLE, dtype=_np.int64)
+            completion[: len(self._completion)] = self._completion
+            seqs = _np.zeros(cap, dtype=_np.int64)
+            seqs[: len(self._seqs)] = self._seqs
+            self._completion = completion
+            self._seqs = seqs
+
+    def clock_install(self, eid: int, completion: int, seq: int) -> None:
+        self._ensure(eid)
+        self._completion[eid] = completion
+        self._seqs[eid] = seq
+        if completion < self._cached_min:
+            self._cached_min = completion
+
+    def clock_due(self, clock: int) -> list[int]:
+        live = self._completion[: self._hi]
+        due = (live == clock).nonzero()[0]
+        if len(due) == 0:
+            return []
+        if len(due) > 1:
+            due = due[_np.argsort(self._seqs[due], kind="stable")]
+        self._completion[due] = _IDLE  # pop semantics, like the heap
+        self._cached_min = int(live.min()) if len(live) else _IDLE
+        return due.tolist()
+
+    def clock_min(self) -> int | None:
+        m = self._cached_min
+        return None if m == _IDLE else m
+
+    def clock_min_edge(self) -> tuple[int, int] | None:
+        m = self._cached_min
+        if m == _IDLE:
+            return None
+        live = self._completion[: self._hi]
+        ties = (live == m).nonzero()[0]
+        eid = int(ties[self._seqs[ties].argmin()]) if len(ties) > 1 else int(ties[0])
+        return m, eid
+
+
+def resolve_kernels(spec: str | type[StdlibKernels] | None) -> type[StdlibKernels]:
+    """Map a kernel spec to a kernel class -- the construction-time choice.
+
+    ``"auto"`` (and ``None``) picks :class:`NumpyKernels` when numpy is
+    importable and :class:`StdlibKernels` otherwise; ``"stdlib"`` and
+    ``"numpy"`` pin the implementation (``"numpy"`` raises if unavailable,
+    so a pinned benchmark leg cannot silently fall back).
+    """
+    if spec is None or spec == "auto":
+        return NumpyKernels if _np is not None else StdlibKernels
+    if isinstance(spec, type) and issubclass(spec, StdlibKernels):
+        return spec
+    if spec == "stdlib":
+        return StdlibKernels
+    if spec == "numpy":
+        if _np is None:
+            raise ImportError("kernels='numpy' requested but numpy is not importable")
+        return NumpyKernels
+    raise ValueError(f"unknown kernels spec {spec!r}; known: auto, stdlib, numpy")

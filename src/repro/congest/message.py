@@ -10,7 +10,7 @@ parts plus a length header.  Callers may always override with an explicit
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Hashable
+from typing import Any, Hashable, NamedTuple
 
 _FLOAT_BITS = 64
 _HEADER_BITS = 8
@@ -60,9 +60,13 @@ def bit_size(payload: Any) -> int:
     raise TypeError(f"cannot size payload of type {type(payload).__name__}")
 
 
-@dataclass(frozen=True)
-class Received:
-    """A message as seen by the receiving node."""
+class Received(NamedTuple):
+    """A message as seen by the receiving node.
+
+    A named tuple rather than a frozen dataclass: one is allocated per
+    delivered message on the hottest path of every engine, and tuple
+    construction is several times cheaper than ``object.__setattr__``.
+    """
 
     sender: Hashable
     payload: Any

@@ -87,12 +87,11 @@ class CongestNetwork:
         # Engine first: it declares the transport layout it runs against
         # (LinkTransport by default, the struct-of-arrays ColumnarTransport
         # for the columnar engine).
-        self.engine = get_engine(engine, threads=engine_threads)
-        transport_class = getattr(self.engine, "transport_class", LinkTransport)
-        self.transport = transport_class(
+        self.engine = get_engine(engine, threads=engine_threads, graph=graph)
+        self.transport = self.engine.build_transport(
             bandwidth, strict=strict, record_messages=record_messages
         )
-        if getattr(transport_class, "wants_trace", False):
+        if getattr(type(self.transport), "wants_trace", False):
             self.transport.trace = self.trace
         self._min_edge_index: MinEdgeIndex | None = None
 
@@ -120,7 +119,9 @@ class CongestNetwork:
         in via ``uses_min_edge_index`` (see the MST programs)."""
         index = self._min_edge_index
         if index is None:
-            index = self._min_edge_index = MinEdgeIndex(self.graph, self.weight_key)
+            index = self._min_edge_index = MinEdgeIndex(
+                self.graph, self.weight_key, kernels=getattr(self.engine, "kernels", None)
+            )
         return index
 
     # -- metrics (owned by the transport) --------------------------------------
@@ -155,6 +156,9 @@ class CongestNetwork:
 
     def _enqueue(self, sender: Hashable, receiver: Hashable, payload: Any, bits: int) -> None:
         self.transport.enqueue(sender, receiver, payload, bits, self.current_round)
+
+    def _enqueue_many(self, sender: Hashable, receivers: list[Hashable], payload: Any, bits: int) -> None:
+        self.transport.enqueue_many(sender, receivers, payload, bits, self.current_round)
 
     # -- execution -------------------------------------------------------------
 

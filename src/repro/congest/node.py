@@ -28,6 +28,7 @@ class Node:
     ):
         self.id = node_id
         self.neighbors = neighbors
+        self._neighbors_cached = set(neighbors)
         self.input: Any = None
         self.rng = rng
         self.output: Any = None
@@ -61,7 +62,7 @@ class Node:
         """
         if self.halted:
             raise RuntimeError(f"halted node {self.id!r} cannot send")
-        if neighbor not in self._neighbor_set():
+        if neighbor not in self._neighbors_cached:
             raise ValueError(f"{neighbor!r} is not a neighbor of {self.id!r}")
         size = bit_size(payload) if bits is None else bits
         if size < 1:
@@ -72,12 +73,17 @@ class Node:
         """Send the same payload to every neighbour.
 
         The automatic size estimate is computed once, not per neighbour
-        (the payload is shared, so its size is too).
+        (the payload is shared, so its size is too), and the whole batch is
+        staged through the transport's bulk path in one call.
         """
-        if bits is None and self.neighbors:
-            bits = bit_size(payload)
-        for neighbor in self.neighbors:
-            self.send(neighbor, payload, bits=bits)
+        if self.halted:
+            raise RuntimeError(f"halted node {self.id!r} cannot send")
+        if not self.neighbors:
+            return
+        size = bit_size(payload) if bits is None else bits
+        if size < 1:
+            raise ValueError("messages cost at least one bit")
+        self._network._enqueue_many(self.id, self.neighbors, payload, size)
 
     def send_many(self, pairs: Iterable[tuple[Hashable, Any]]) -> None:
         for neighbor, payload in pairs:
@@ -89,8 +95,6 @@ class Node:
         self.halted = True
 
     def _neighbor_set(self) -> set:
-        if not hasattr(self, "_neighbors_cached"):
-            self._neighbors_cached = set(self.neighbors)
         return self._neighbors_cached
 
 

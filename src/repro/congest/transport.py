@@ -116,6 +116,16 @@ class LinkTransport:
         if self.record_messages:
             self.message_log.append((round_no, sender, receiver, bits))
 
+    def enqueue_many(self, sender: Hashable, receivers: Iterable[Hashable], payload: Any, bits: int, round_no: int) -> None:
+        """Stage one payload to several receivers (the broadcast path).
+
+        The reference semantics are exactly a loop over :meth:`enqueue`
+        (same strict checks, same staging order, same log entries); bulk
+        transports override this to amortise the per-message staging work.
+        """
+        for receiver in receivers:
+            self.enqueue(sender, receiver, payload, bits, round_no)
+
     # -- parallel staging (thread-sharded engines) -----------------------------
 
     def begin_shard_staging(self) -> None:

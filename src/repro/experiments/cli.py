@@ -99,9 +99,18 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--workers", type=int, default=1, help="process-pool size (1 = serial)")
     run.add_argument(
         "--engine",
-        choices=("event", "dense", "parallel", "columnar"),
+        choices=(
+            "event",
+            "dense",
+            "parallel",
+            "columnar",
+            "columnar-stdlib",
+            "columnar-numpy",
+            "auto",
+        ),
         default=None,
-        help="CONGEST engine axis (scenarios declaring an `engine` param only)",
+        help="CONGEST engine axis (scenarios declaring an `engine` param only); "
+        "`auto` picks from the instance size and numpy availability",
     )
     run.add_argument(
         "--engine-threads",

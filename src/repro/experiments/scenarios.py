@@ -52,18 +52,26 @@ from repro.graphs.spatial import GridIndex
 #: --engine-threads 4`` at the CLI).  ``engine_threads = 0`` means the
 #: engine's own default (the host CPU count for ``parallel``).
 ENGINE_PARAMS = (
-    ParamSpec("engine", str, "event", "CONGEST engine: event|dense|parallel|columnar"),
+    ParamSpec(
+        "engine",
+        str,
+        "event",
+        "CONGEST engine: event|dense|parallel|columnar|columnar-stdlib|columnar-numpy|auto",
+    ),
     ParamSpec("engine_threads", int, 0, "parallel-engine shard threads (0 = cpu count)"),
 )
 
 
-def _resolve_engine(engine: str, engine_threads: int) -> Engine:
+def _resolve_engine(engine: str, engine_threads: int, graph: nx.Graph | None = None) -> Engine:
     """Build the engine instance a scenario point asked for.
 
     An instance (not the name) so the scenario can read back introspection
-    counters such as ``node_steps`` after the run.
+    counters such as ``node_steps`` after the run.  Pass the instance graph
+    when it is already built so ``engine="auto"`` can size its choice.
     """
-    return get_engine(engine, threads=engine_threads if engine_threads > 0 else None)
+    return get_engine(
+        engine, threads=engine_threads if engine_threads > 0 else None, graph=graph
+    )
 
 
 def _weighted_graph(n: int, extra_edge_prob: float, graph_seed: int, weight_seed: int) -> nx.Graph:
@@ -154,8 +162,12 @@ def fig3_mst_tradeoff(
     w = aspect_ratio
     graph = _fig3_graph(seed, n, aspect_ratio, extra_edge_prob, graph_seed)
 
-    _, elkin = run_elkin_approx_mst(graph, alpha=alpha, engine=_resolve_engine(engine, engine_threads))
-    _, gkp = run_gkp_mst(graph, bandwidth=bandwidth, engine=_resolve_engine(engine, engine_threads))
+    _, elkin = run_elkin_approx_mst(
+        graph, alpha=alpha, engine=_resolve_engine(engine, engine_threads, graph)
+    )
+    _, gkp = run_gkp_mst(
+        graph, bandwidth=bandwidth, engine=_resolve_engine(engine, engine_threads, graph)
+    )
     formula = fig3_curve(n, alpha, [w])[0]
     return {
         "W": w,
@@ -740,7 +752,7 @@ def spanner_skeleton(
         n, aspect_ratio=aspect_ratio, extra_edge_prob=extra_edge_prob, seed=seed
     )
     k = stretch_k if stretch_k >= 1 else max(1, math.ceil(math.log2(n)))
-    engine_obj = _resolve_engine(engine, engine_threads)
+    engine_obj = _resolve_engine(engine, engine_threads, graph)
     summary, run = run_linear_size_spanner(graph, k, bandwidth=bandwidth, engine=engine_obj)
     node_steps = getattr(engine_obj, "node_steps", None)
     dense_steps = n * run.rounds
@@ -881,7 +893,7 @@ def boruvka_mst_sweep(
     reference = sum(
         d["weight"] for _, _, d in nx.minimum_spanning_tree(graph).edges(data=True)
     )
-    engine_obj = _resolve_engine(engine, engine_threads)
+    engine_obj = _resolve_engine(engine, engine_threads, graph)
     edges, run = run_boruvka_mst(graph, bandwidth=bandwidth, seed=seed, engine=engine_obj)
     weight = tree_weight(graph, edges)
     return {

@@ -7,6 +7,8 @@ import random
 import networkx as nx
 import pytest
 
+pytest.importorskip("numpy")  # the verification stack is numpy-bound
+
 from repro.algorithms.disjointness import (
     run_classical_disjointness,
     run_quantum_disjointness,

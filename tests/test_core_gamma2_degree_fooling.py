@@ -2,8 +2,9 @@
 
 import math
 
-import numpy as np
 import pytest
+
+np = pytest.importorskip("numpy")  # whole module is linear-algebra-bound
 from scipy.linalg import hadamard
 
 from repro.comm.problems import all_inputs, equality, inner_product_mod2

@@ -3,8 +3,9 @@
 import math
 import random
 
-import numpy as np
 import pytest
+
+np = pytest.importorskip("numpy")  # whole module is linear-algebra-bound
 
 from repro.core.nonlocal_games import (
     AbortSimulationStrategy,

@@ -2,6 +2,8 @@
 
 import pytest
 
+pytest.importorskip("numpy")  # the comm/server stack is numpy-bound
+
 from repro.comm.classical import RandomizedEqualityProtocol
 from repro.comm.problems import equality
 from repro.core.server_model import (

@@ -3,7 +3,10 @@
 import math
 
 import networkx as nx
-import numpy as np
+import pytest
+
+np = pytest.importorskip("numpy")  # exercises numpy-backed core modules
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -2,8 +2,9 @@
 
 import random
 
-import numpy as np
 import pytest
+
+np = pytest.importorskip("numpy")  # whole module is linear-algebra-bound
 
 from repro.quantum.network_resources import (
     EntanglementRegistry,

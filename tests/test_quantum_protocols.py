@@ -4,8 +4,9 @@ Grover and the Holevo bound."""
 import math
 import random
 
-import numpy as np
 import pytest
+
+np = pytest.importorskip("numpy")  # whole module is linear-algebra-bound
 
 from repro.quantum.entanglement import (
     bell_state,
