@@ -1,0 +1,299 @@
+"""Benchmark the work-queue spool: drain throughput, scan cost, stealing.
+
+Three measurement groups, all landing in one artifact (``BENCH_pr9.json``):
+
+- **Drain throughput** (``queue-drain-1e3``, ``queue-drain-1e4``): enqueue
+  N synthetic noop tickets and drain them with one in-process worker
+  (inline execution, so spool mechanics dominate), once against the
+  legacy flat layout (``shards=0``: one sorted directory listing per
+  claim, O(spool)) and once against the sharded layout (per-shard ready
+  indexes, O(batch)).  ``speedup`` = sharded tickets/sec over flat.  At
+  10^4 the flat drain is *sampled* (first 1000 claims against the full
+  spool) -- draining it completely is quadratic, which is the point.
+- **Scan cost** (``queue-drain-scan``): full directory listings performed
+  per drain, flat over sharded -- the direct measure of the ready-index
+  fast path (the flat layout scans once per claim, the sharded one a
+  handful of times per drain).
+- **Steal effectiveness** (``queue-drain-steal``): a deliberately skewed
+  spool -- one big block ticket of slow points plus a tail of small
+  tickets -- drained by two worker daemons, with work stealing off and
+  on.  Without stealing the worker stuck with the block rides it out
+  alone; with it, the idle daemon carves off the block's unstarted
+  points.  ``speedup`` = makespan(no steal) / makespan(steal).
+
+A store-backed equivalence pass (worker shard -> ``ResultStore.merge``)
+cross-checks that sharded-spool records are field-identical to a serial
+run of the same sweep, modulo ``duration_s``.
+
+Usage::
+
+    python benchmarks/queue_drain.py --out BENCH_pr9.json
+    python benchmarks/queue_drain.py --quick     # CI smoke: 10^3 only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import asdict
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+if str(_ROOT) not in sys.path:
+    sys.path.insert(0, str(_ROOT))  # make `benchmarks.*` importable from a script run
+
+import repro
+from benchmarks.queue_scenarios import MODULE
+from repro.experiments import ResultStore, expand_grid, get_scenario, run_sweep
+from repro.experiments.backends.base import Task
+from repro.experiments.backends.queue import WorkQueueBackend, run_worker
+from repro.experiments.backends.spool import SpoolStats
+from repro.experiments.store import cache_key
+
+#: Idle period after which the draining worker concludes the spool is dry.
+_IDLE = 0.3
+
+
+def _tasks(scenario_name: str, grid: dict, **task_kwargs) -> list[Task]:
+    points = expand_grid(get_scenario(scenario_name), grid)
+    return [
+        Task(
+            point=p,
+            key=cache_key(p.scenario, p.params, p.seed),
+            scenario_version=get_scenario(scenario_name).version,
+            code_version=repro.__version__,
+            scenario_modules=(MODULE,),
+            **task_kwargs,
+        )
+        for p in points
+    ]
+
+
+def drain_once(n: int, shards: int | None, sample: int | None = None) -> dict:
+    """Enqueue ``n`` noop tickets, drain in-process, return rate + stats.
+
+    ``sample`` drains only that many tickets against the still-full spool
+    (the 10^4 flat case, where a complete drain is quadratic).
+    """
+    with tempfile.TemporaryDirectory(prefix="queue-drain-") as tmp:
+        qdir = Path(tmp) / "q"
+        backend = WorkQueueBackend(qdir, workers=0, shards=shards)
+        t0 = time.perf_counter()
+        for task in _tasks("queue-drain-noop", {"i": list(range(n))}):
+            backend.submit(task)
+        enqueue_s = time.perf_counter() - t0
+        stats = SpoolStats()
+        budget = sample if sample is not None else n
+        t0 = time.perf_counter()
+        if sample is not None:
+            # Sampled drain: claim + execute `sample` tickets by hand so
+            # the timing never includes an idle-out period.
+            from repro.experiments.backends.spool import ShardedSpool
+
+            spool = ShardedSpool(backend.paths, stats=stats)
+            done = 0
+            while done < budget:
+                claimed = spool.claim(1)
+                if not claimed:
+                    break
+                name, _ = claimed[0]
+                (backend.paths.claims / name).unlink()
+                backend.paths.heartbeat(name).unlink(missing_ok=True)
+                done += 1
+            drain_s = time.perf_counter() - t0
+        else:
+            done = run_worker(
+                qdir, max_idle=_IDLE, poll_interval=0.01, inline=True, stats=stats
+            )
+            drain_s = time.perf_counter() - t0 - _IDLE  # idle-out is not drain time
+        assert done == budget, f"drained {done}/{budget}"
+        return {
+            "layout": "flat" if shards == 0 else "sharded",
+            "tickets": n,
+            "drained": done,
+            "sampled": sample is not None,
+            "enqueue_s": round(enqueue_s, 4),
+            "drain_s": round(drain_s, 4),
+            "tickets_per_s": round(done / drain_s, 1),
+            "stats": stats.as_dict(),
+        }
+
+
+def bench_drain(n: int, sample_flat: int | None = None, repeats: int = 2) -> list[dict]:
+    """The flat-vs-sharded drain pair at one spool size (best-of-N)."""
+    suffix = f"1e{len(str(n)) - 1}"
+    drain_once(64, shards=None)  # warmup: imports, allocator, page cache
+
+    def best(shards: int | None, sample: int | None) -> dict:
+        runs = [drain_once(n, shards=shards, sample=sample) for _ in range(repeats)]
+        return max(runs, key=lambda r: r["tickets_per_s"])
+
+    flat = best(0, sample_flat)
+    sharded = best(None, None)
+    drain_group = {
+        "group": f"queue-drain-{suffix}",
+        "tickets": n,
+        "flat": flat,
+        "sharded": sharded,
+        "speedup": round(sharded["tickets_per_s"] / flat["tickets_per_s"], 3),
+    }
+    groups = [drain_group]
+    if sample_flat is None:
+        # Scan-cost ratio only where both sides drained the whole spool.
+        groups.append(
+            {
+                "group": f"queue-drain-scan-{suffix}",
+                "flat_full_scans": flat["stats"]["full_scans"],
+                "sharded_full_scans": sharded["stats"]["full_scans"],
+                "sharded_index_hits": sharded["stats"]["index_hits"],
+                "speedup": round(
+                    flat["stats"]["full_scans"] / max(sharded["stats"]["full_scans"], 1), 1
+                ),
+            }
+        )
+    return groups
+
+
+def _worker_env() -> dict[str, str]:
+    """Daemon subprocesses must import repro and this benchmark module."""
+    src = Path(repro.__file__).resolve().parents[1]
+    root = src.parent
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(src), str(root), env.get("PYTHONPATH", "")) if p
+    )
+    return env
+
+
+def bench_steal(block_points: int, tail: int, delay: float) -> dict:
+    """Skewed-spool makespan with 2 daemons, stealing off vs on."""
+
+    def run(steal: bool) -> float:
+        with tempfile.TemporaryDirectory(prefix="queue-steal-") as tmp:
+            qdir = Path(tmp) / "q"
+            # One big block ticket (the skew) plus single-point tickets.
+            big = WorkQueueBackend(qdir, workers=0, points_per_ticket=block_points)
+            grid = {"i": list(range(block_points)), "delay": [delay]}
+            for task in _tasks("queue-drain-slow", grid):
+                big.submit(task)
+            small = WorkQueueBackend(qdir, workers=0)
+            grid = {"i": list(range(block_points, block_points + tail)), "delay": [delay]}
+            for task in _tasks("queue-drain-slow", grid):
+                small.submit(task)
+            expected = block_points + tail
+            argv = [
+                sys.executable, "-m", "repro.experiments", "worker", str(qdir),
+                "--max-idle", "1.0", "--poll-interval", "0.02", "--inline",
+            ]
+            if not steal:
+                argv.append("--no-steal")
+            t0 = time.perf_counter()
+            procs = [subprocess.Popen(argv, env=_worker_env()) for _ in range(2)]
+            landed = 0
+            deadline = t0 + 120.0
+            while landed < expected and time.perf_counter() < deadline:
+                landed = len(big.poll()) + len(small.poll())
+                # poll() pops landed results; accumulate instead.
+                if landed:
+                    expected -= landed
+                    landed = 0
+                time.sleep(0.02)
+            makespan = time.perf_counter() - t0
+            for proc in procs:
+                proc.wait(timeout=30.0)
+            assert expected == 0, f"{expected} point(s) never landed"
+            return makespan
+
+    no_steal = run(steal=False)
+    with_steal = run(steal=True)
+    return {
+        "group": "queue-drain-steal",
+        "block_points": block_points,
+        "tail_tickets": tail,
+        "point_delay_s": delay,
+        "workers": 2,
+        "no_steal_s": round(no_steal, 3),
+        "steal_s": round(with_steal, 3),
+        "speedup": round(no_steal / with_steal, 3),
+    }
+
+
+def _comparable(records) -> list[dict]:
+    stripped = []
+    for record in records:
+        data = asdict(record)
+        data.pop("duration_s")
+        stripped.append(data)
+    return stripped
+
+
+def check_equivalence(n: int) -> dict:
+    """Sharded-spool drain + shard merge vs a serial run: field-identical."""
+    points = expand_grid(get_scenario("queue-drain-noop"), {"i": list(range(n))})
+    with tempfile.TemporaryDirectory(prefix="queue-equiv-") as tmp:
+        tmp_path = Path(tmp)
+        serial_store = ResultStore(tmp_path / "serial")
+        serial = run_sweep(points, store=serial_store, backend="serial")
+        qdir = tmp_path / "q"
+        # Submit through the backend as block tickets, drain with a
+        # store-writing worker, then merge the worker's shard -- the
+        # external-daemon topology, in-process.
+        backend = WorkQueueBackend(qdir, workers=0, points_per_ticket=4)
+        shard = ResultStore(tmp_path / "shard")
+        for task in _tasks("queue-drain-noop", {"i": list(range(n))}):
+            backend.submit(task)
+        backend.poll()  # seal any partial block ticket
+        run_worker(qdir, store=shard, max_idle=_IDLE, poll_interval=0.01, inline=True)
+        merged = ResultStore(tmp_path / "merged")
+        imported = merged.merge(shard.root)
+        merged_records = sorted(merged.iter_records(), key=lambda r: r.key)
+        serial_records = sorted(serial.records, key=lambda r: r.key)
+        match = _comparable(merged_records) == _comparable(serial_records)
+        return {
+            "check": "merged-records-vs-serial",
+            "points": n,
+            "merged": int(imported),
+            "records_match_serial": match,
+        }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_pr9.json")
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke: 10^3 drain + small steal run"
+    )
+    args = parser.parse_args()
+
+    groups = bench_drain(1000)
+    if not args.quick:
+        groups += bench_drain(10_000, sample_flat=1000)
+    groups.append(bench_steal(*((12, 8, 0.05) if args.quick else (30, 12, 0.05))))
+    equivalence = check_equivalence(100)
+
+    for group in groups:
+        print(f"{group['group']}: speedup {group['speedup']}x")
+    print(f"equivalence: match={equivalence['records_match_serial']}")
+
+    payload = {
+        "benchmark": "queue_drain",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "groups": groups,
+        "equivalence": equivalence,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.out}")
+    ok = equivalence["records_match_serial"]
+    headline = next(g for g in groups if g["group"] == "queue-drain-1e3")
+    return 0 if ok and headline["speedup"] >= 1.0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

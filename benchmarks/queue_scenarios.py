@@ -1,0 +1,32 @@
+"""Synthetic scenarios for the queue-drain benchmark.
+
+Separate from ``queue_drain.py`` so worker daemon subprocesses can import
+them by module name (``benchmarks.queue_scenarios``) -- the benchmark
+script itself runs as ``__main__`` and cannot be re-imported.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments import ParamSpec, scenario
+
+#: Module name shipped to workers via ``Task.scenario_modules``.
+MODULE = "benchmarks.queue_scenarios"
+
+
+@scenario("queue-drain-noop", params=[ParamSpec("i", int, 0)], version="1")
+def _noop(*, seed, i):
+    """Minimal unit of work: spool mechanics, not execution, is measured."""
+    return {"i": i}
+
+
+@scenario(
+    "queue-drain-slow",
+    params=[ParamSpec("i", int, 0), ParamSpec("delay", float, 0.05)],
+    version="1",
+)
+def _slow(*, seed, i, delay):
+    """Fixed-cost point for the steal benchmark's skewed block tickets."""
+    time.sleep(delay)
+    return {"i": i}

@@ -36,7 +36,7 @@ from repro.experiments.registry import (
     scenario,
 )
 from repro.experiments.runner import SweepReport, run_sweep
-from repro.experiments.store import ResultRecord, ResultStore, cache_key
+from repro.experiments.store import MergeSummary, ResultRecord, ResultStore, cache_key
 from repro.experiments.sweep import SweepPoint, derive_seed, expand_grid
 
 __all__ = [
@@ -53,6 +53,7 @@ __all__ = [
     "derive_seed",
     "run_sweep",
     "SweepReport",
+    "MergeSummary",
     "ResultStore",
     "ResultRecord",
     "cache_key",

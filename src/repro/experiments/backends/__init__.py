@@ -7,13 +7,14 @@ points into outcome dicts behind the :class:`ExecutionBackend`
 - :class:`SerialBackend` -- inline, in-process (the reference path);
 - :class:`ProcessPoolBackend` -- local ``multiprocessing`` pool with
   spawn hygiene, worker recycling and out-of-order collection;
-- :class:`WorkQueueBackend` -- a file-based spool drained by one or many
-  ``python -m repro.experiments worker`` daemons (same machine or shared
-  filesystem) with atomic rename-leases, heartbeats and a worker-side
-  runtime watchdog.
+- :class:`WorkQueueBackend` -- a hash-sharded file spool drained by one
+  or many ``python -m repro.experiments worker`` daemons (same machine or
+  shared filesystem) with atomic rename-leases, heartbeats, a worker-side
+  runtime watchdog, block tickets and point-granular work stealing
+  (:mod:`~repro.experiments.backends.spool` holds the layout,
+  :mod:`~repro.experiments.backends.fleet` the elastic supervisor).
 
-Every future backend (job queue, SSH fleet, work stealing) plugs into the
-same seam.
+Every future backend (job queue, SSH fleet) plugs into the same seam.
 """
 
 from __future__ import annotations
@@ -21,9 +22,11 @@ from __future__ import annotations
 import os
 
 from repro.experiments.backends.base import ExecutionBackend, Task, execute_point
+from repro.experiments.backends.fleet import FleetController, FleetReport, run_fleet
 from repro.experiments.backends.pool import ProcessPoolBackend
 from repro.experiments.backends.queue import WorkQueueBackend, run_worker
 from repro.experiments.backends.serial import SerialBackend
+from repro.experiments.backends.spool import QueuePaths, ShardedSpool, SpoolStats
 
 #: CLI-facing backend names ("auto" additionally picks serial or pool from
 #: the workers/timeout arguments, preserving the historical behaviour).
@@ -40,6 +43,8 @@ def resolve_backend(
     maxtasksperchild: int | None = 16,
     queue_dir: str | os.PathLike | None = None,
     claim_batch: int = 1,
+    points_per_ticket: int = 1,
+    shards: int | None = None,
 ) -> ExecutionBackend:
     """Build a backend from a CLI-style name.
 
@@ -74,6 +79,8 @@ def resolve_backend(
             workers=max(workers, 0),
             mp_start_method=mp_start_method,
             claim_batch=claim_batch,
+            points_per_ticket=points_per_ticket,
+            shards=shards,
         )
     raise ValueError(f"unknown backend {spec!r}; known: {BACKEND_NAMES}")
 
@@ -81,11 +88,17 @@ def resolve_backend(
 __all__ = [
     "BACKEND_NAMES",
     "ExecutionBackend",
+    "FleetController",
+    "FleetReport",
     "ProcessPoolBackend",
+    "QueuePaths",
     "SerialBackend",
+    "ShardedSpool",
+    "SpoolStats",
     "Task",
     "WorkQueueBackend",
     "execute_point",
     "resolve_backend",
+    "run_fleet",
     "run_worker",
 ]

@@ -1,31 +1,52 @@
-"""Shared work-queue backend: a file-based spool drained by worker daemons.
+"""Shared work-queue backend: a sharded file spool drained by worker daemons.
 
-The spool is a directory (local disk or shared filesystem)::
+The spool is a directory (local disk or shared filesystem) whose layout
+lives in :mod:`repro.experiments.backends.spool`::
 
     <queue-dir>/
-        tasks/<index>-<key>.json    # unclaimed tickets, self-contained JSON
+        spool.json                  # layout marker ({"shards": N})
+        shards/sNN/<name>.json      # unclaimed tickets, hash-sharded
+        index/sNN.log               # per-shard ready index (append-on-enqueue)
+        tasks/<name>.json           # legacy flat layout (still drained)
         claims/<name>.json          # claimed tickets (atomic-rename leases)
-        claims/<name>.hb            # heartbeat, touched while the task runs
-        results/<name>.json         # ticket + outcome, written atomically
+        claims/<name>.hb            # heartbeat, touched while the ticket runs
+        claims/<name>.rest          # owner-published not-yet-started points
+        claims/<name>.steal         # thief-claimed point positions
+        results/<point>.json        # one result per *point*, written atomically
         STOP                        # operator sentinel: every daemon exits
         STOP.<nonce>                # per-sweep sentinel for spawned daemons
 
-Claiming is an atomic ``os.rename`` from ``tasks/`` to ``claims/``: exactly
-one of any number of racing daemons wins; the losers see the file gone and
-move on.  Daemons can claim up to ``--claim-batch`` tickets per spool scan
-(one sorted directory listing amortised over the batch -- the scan is the
-dominant per-ticket cost on very large grids), heartbeating the waiting
-batch-mates while each ticket runs.  A claimed ticket whose heartbeat goes
-stale (daemon died) is requeued by the collecting backend, up to
-``max_requeues`` attempts.
+Claiming is an atomic ``os.rename`` from the spool into ``claims/``:
+exactly one of any number of racing daemons wins; the losers see the file
+gone and move on.  The per-shard ready index makes a claim O(batch)
+instead of O(spool) -- see ``spool.py`` for the scan-cost story.
+
+**Tickets carry one or more sweep points.**  A multi-point ("block")
+ticket amortises claim overhead over its points and is the unit of
+**work stealing**: while executing, the owner publishes the positions it
+has not started yet in ``<name>.rest``; an idle daemon that finds the
+spool empty reads the rest files, carves off the tail half of the
+deepest one by exclusively creating ``<name>.steal``, and republishes
+the carved points as a fresh ticket.  The owner re-reads the steal file
+before each point and skips carved positions.  Both sides write results
+under per-*point* filenames derived from the content-hash cache key, so
+the occasional race (owner already executing a point the thief carved)
+costs duplicate work but never divergent records -- the store stays
+field-identical to a serial run.
+
+A claimed ticket whose heartbeat goes stale (daemon died) is requeued by
+the collecting backend: the points that neither landed in ``results/``
+nor were stolen are republished as a new ticket, up to ``max_requeues``
+attempts.
 
 Workers run ``python -m repro.experiments worker <queue-dir>`` -- any
 number, started before or after the sweep, on the same machine or any
-machine sharing the filesystem.  Each executes tickets in a *subprocess
-watchdog*: the task runs in a child process, the daemon heartbeats while
-it waits, and a ticket with a runtime budget that overruns it is killed
-and reported as a ``timeout`` outcome -- true worker-side per-task
-runtime enforcement, not a collector-side deadline.
+machine sharing the filesystem; ``python -m repro.experiments fleet``
+(:mod:`repro.experiments.backends.fleet`) provisions and retires them
+automatically from spool depth.  Each ticket point normally executes in
+a *subprocess watchdog* (true worker-side runtime enforcement);
+``--inline`` skips the subprocess for trusted, short, timeout-less
+tickets -- the drain-benchmark configuration.
 
 Workers given ``--store`` also persist full ``ResultRecord`` shards
 locally (same cache keys as the submitting run), which
@@ -35,6 +56,7 @@ into a central store.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import logging
 import multiprocessing
@@ -47,6 +69,7 @@ from pathlib import Path
 from typing import Callable
 
 from repro.experiments.backends.base import ExecutionBackend, Task, execute_point
+from repro.experiments.backends.spool import QueuePaths, ShardedSpool, SpoolStats
 from repro.experiments.store import ResultRecord, ResultStore, atomic_write_text
 from repro.obs.trace import NULL_TRACER, TraceWriter, trace_dir_from_env
 
@@ -66,40 +89,19 @@ DEFAULT_LEASE_TIMEOUT = 30.0
 #: Watchdog tick: heartbeat period and result-poll granularity.
 _WATCHDOG_TICK = 0.1
 
-
-class QueuePaths:
-    """The spool directory layout."""
-
-    def __init__(self, root: str | os.PathLike):
-        self.root = Path(root)
-        self.tasks = self.root / "tasks"
-        self.claims = self.root / "claims"
-        self.results = self.root / "results"
-        self.stop = self.root / "STOP"
-
-    def ensure(self) -> None:
-        """Create the spool subdirectories (idempotent)."""
-        for directory in (self.tasks, self.claims, self.results):
-            directory.mkdir(parents=True, exist_ok=True)
-
-    def heartbeat(self, name: str) -> Path:
-        """The heartbeat file a claimant touches while executing ``name``."""
-        return self.claims / (name + ".hb")
+#: A thief only carves tickets with at least this many unstarted points.
+MIN_STEAL_POINTS = 2
 
 
 def _write_json_atomic(path: Path, payload: dict) -> None:
     atomic_write_text(path, json.dumps(payload, sort_keys=True))
 
 
-def ticket_name(task: Task, nonce: str) -> str:
-    """Ticket filename: the index prefix makes daemons claim in grid order;
-    the per-sweep nonce keeps concurrent sweeps with overlapping points on
-    a shared spool from clobbering each other's in-flight state."""
-    return f"{task.index:06d}-{task.key}-{nonce}.json"
+# -- tickets -------------------------------------------------------------------
 
 
-def ticket_payload(task: Task) -> dict:
-    """The self-contained JSON body a daemon needs to execute the task."""
+def point_payload(task: Task) -> dict:
+    """One sweep point as it rides inside a ticket (self-contained)."""
     point = task.point
     return {
         "index": point.index,
@@ -108,30 +110,110 @@ def ticket_payload(task: Task) -> dict:
         "seed": point.seed,
         "replicate": point.replicate,
         "key": task.key,
-        "scenario_version": task.scenario_version,
-        "code_version": task.code_version,
-        "scenario_modules": list(task.scenario_modules),
-        "timeout": task.timeout,
-        "attempts": 0,
     }
 
 
-def record_from_ticket(ticket: dict, outcome: dict) -> ResultRecord:
-    """Reconstruct the full result record a ticket + outcome describe."""
+def point_result_name(point: dict, nonce: str) -> str:
+    """The per-point result filename (and v1 single-ticket name): the
+    index prefix keeps listings in grid order, the content-hash key makes
+    duplicate executions land on the same file, and the per-sweep nonce
+    keeps concurrent sweeps with overlapping points on a shared spool
+    from clobbering each other's in-flight state."""
+    return f"{point['index']:06d}-{point['key']}-{nonce}.json"
+
+
+def ticket_name(tasks: list[Task] | Task, nonce: str, tag: str | None = None) -> str:
+    """Ticket filename for one task or a block of tasks.
+
+    A single-point ticket keeps the historical ``<index>-<key>-<nonce>``
+    name (which doubles as its result filename); a block ticket hashes
+    its keys.  ``tag`` distinguishes republished generations (reclaims,
+    steals) so a fresh claim can never collide with a stale lease of the
+    same name.
+    """
+    if isinstance(tasks, Task):
+        tasks = [tasks]
+    if len(tasks) == 1 and tag is None:
+        return f"{tasks[0].index:06d}-{tasks[0].key}-{nonce}.json"
+    digest = hashlib.sha256("/".join(t.key for t in tasks).encode()).hexdigest()[:12]
+    parts = [f"{tasks[0].index:06d}", f"blk{len(tasks)}"]
+    if tag:
+        parts.append(tag)
+    parts.append(digest)
+    parts.append(nonce)
+    return "-".join(parts) + ".json"
+
+
+def _carve_name(points: list[dict], nonce: str, tag: str) -> str:
+    """Name for a republished subset ticket (reclaim or steal carve-off)."""
+    digest = hashlib.sha256(
+        "/".join(str(p.get("key")) for p in points).encode()
+    ).hexdigest()[:12]
+    return f"{points[0]['index']:06d}-blk{len(points)}-{tag}-{digest}-{nonce}.json"
+
+
+def ticket_payload(tasks: list[Task] | Task, nonce: str) -> dict:
+    """The self-contained JSON body a daemon needs to execute the ticket."""
+    if isinstance(tasks, Task):
+        tasks = [tasks]
+    first = tasks[0]
+    points = []
+    for task in tasks:
+        point = point_payload(task)
+        point["result_name"] = point_result_name(point, nonce)
+        points.append(point)
+    return {
+        "schema": 2,
+        "points": points,
+        "scenario_version": first.scenario_version,
+        "code_version": first.code_version,
+        "scenario_modules": list(first.scenario_modules),
+        "timeout": first.timeout,
+        "attempts": 0,
+        "nonce": nonce,
+    }
+
+
+def points_of(ticket: dict, name: str = "") -> list[dict]:
+    """The ticket's point list; wraps a legacy single-point (v1) payload.
+
+    A v1 ticket's result has always been written under the ticket's own
+    filename, so the synthesized point carries it as ``result_name``.
+    """
+    if "points" in ticket:
+        return ticket["points"]
+    point = {
+        k: ticket.get(k)
+        for k in ("index", "scenario", "params", "seed", "replicate", "key")
+    }
+    point["result_name"] = name
+    return [point]
+
+
+def record_from_point(ticket: dict, point: dict, outcome: dict) -> ResultRecord:
+    """Reconstruct the full result record a ticket point + outcome describe."""
     return ResultRecord(
-        key=ticket["key"],
-        scenario=ticket["scenario"],
-        params=ticket["params"],
-        seed=ticket["seed"],
-        replicate=ticket["replicate"],
+        key=point["key"],
+        scenario=point["scenario"],
+        params=point["params"],
+        seed=point["seed"],
+        replicate=point["replicate"],
         status=outcome["status"],
         result=outcome.get("result"),
         error=outcome.get("error"),
         duration_s=outcome.get("duration_s", 0.0),
-        scenario_version=ticket["scenario_version"],
-        code_version=ticket["code_version"],
+        scenario_version=ticket.get("scenario_version", "1"),
+        code_version=ticket.get("code_version", ""),
         meta=outcome.get("meta") or {},
     )
+
+
+def _read_positions(path: Path) -> set[int]:
+    """The point positions listed in a rest/steal sidecar (empty if none)."""
+    try:
+        return set(json.loads(path.read_text()).get("positions", ()))
+    except (OSError, json.JSONDecodeError, AttributeError):
+        return set()
 
 
 # -- worker daemon -------------------------------------------------------------
@@ -144,17 +226,19 @@ def _watchdog_child(conn, scenario: str, params: dict, seed: int, modules: list)
 
 
 def _execute_with_watchdog(
-    ticket: dict,
+    point: dict,
+    timeout: float | None,
+    modules: list,
     heartbeat: Path,
     mp_start_method: str = "spawn",
     extra_heartbeats: tuple[Path, ...] = (),
 ) -> dict:
-    """Run one ticket in a child process under a runtime-limit watchdog.
+    """Run one ticket point in a child process under a runtime-limit watchdog.
 
     The daemon heartbeats while the child runs; a child that overruns the
     ticket's ``timeout`` is terminated (then killed) and reported as a
     ``timeout`` outcome, and a child that dies without reporting (crash,
-    OOM-kill) becomes an ``error`` outcome -- the ticket never goes
+    OOM-kill) becomes an ``error`` outcome -- the point never goes
     unanswered.
 
     ``extra_heartbeats`` are leases this daemon holds beyond the running
@@ -166,13 +250,7 @@ def _execute_with_watchdog(
     recv, send = ctx.Pipe(duplex=False)
     proc = ctx.Process(
         target=_watchdog_child,
-        args=(
-            send,
-            ticket["scenario"],
-            ticket["params"],
-            ticket["seed"],
-            ticket["scenario_modules"],
-        ),
+        args=(send, point["scenario"], point["params"], point["seed"], modules),
         # Daemonic: a daemon that exits (STOP, idle-out, unhandled error)
         # takes the in-flight task process with it instead of orphaning it.
         daemon=True,
@@ -180,7 +258,6 @@ def _execute_with_watchdog(
     start = time.monotonic()
     proc.start()
     send.close()  # parent's copy: the child's death now shows up as EOF
-    timeout = ticket.get("timeout")
     deadline = None if timeout is None else start + float(timeout)
     outcome = None
     try:
@@ -222,40 +299,77 @@ def _execute_with_watchdog(
     return outcome
 
 
-def _claim_batch(paths: QueuePaths, limit: int) -> list[tuple[str, dict]]:
-    """Claim up to ``limit`` lowest-index unclaimed tickets in one spool scan.
+def try_steal(
+    paths: QueuePaths, spool: ShardedSpool, tracer=NULL_TRACER, say=None
+) -> bool:
+    """Carve the tail half off the deepest in-flight block ticket.
 
-    One ``sorted(glob)`` pass amortises the directory listing over the whole
-    batch -- on very large grids the scan is the dominant per-ticket cost,
-    so daemons claiming one ticket per scan spend more time listing the
-    spool than executing work.  Each rename is still individually atomic:
-    racing daemons interleave their claims, every ticket goes to exactly one
-    of them, and batch claims stay in grid (index) order.
+    Called by an idle daemon when the spool is empty.  Scans the owner
+    -published ``.rest`` sidecars, picks the ticket with the most
+    unstarted points (at least :data:`MIN_STEAL_POINTS`), claims the tail
+    half by *exclusively creating* the ``.steal`` sidecar (one thief per
+    ticket, ever), and republishes the carved points as a fresh spool
+    ticket.  Returns True when a carve-off was published -- the caller's
+    next claim pass will pick it up.
+
+    Races are benign by construction: the owner re-reads the steal file
+    before each point, and a point the owner had already started lands on
+    the same per-point result filename the thief's copy would -- duplicate
+    work, identical record.
     """
-    claimed: list[tuple[str, dict]] = []
-    for path in sorted(paths.tasks.glob("*.json")):
-        if len(claimed) >= limit:
-            break
-        target = paths.claims / path.name
-        try:
-            os.rename(path, target)
-        except FileNotFoundError:
-            continue  # lost the race to another daemon
-        # Heartbeat immediately: rename preserves the ticket's mtime, so a
-        # ticket that waited in the spool longer than the lease timeout
-        # would otherwise look dead the instant it is claimed.
-        paths.heartbeat(path.name).touch()
-        try:
-            claimed.append((path.name, json.loads(target.read_text())))
-        except (OSError, json.JSONDecodeError):
-            # Unreadable ticket: fail it rather than spinning on it forever.
-            _write_json_atomic(
-                paths.results / path.name,
-                {"outcome": {"status": "error", "error": "unreadable ticket", "duration_s": 0.0}},
-            )
-            target.unlink(missing_ok=True)
-            paths.heartbeat(path.name).unlink(missing_ok=True)
-    return claimed
+    try:
+        rest_entries = [
+            entry
+            for entry in os.scandir(paths.claims)
+            if entry.name.endswith(".rest")
+        ]
+    except FileNotFoundError:
+        return False
+    best_name, best_positions = None, ()
+    for entry in rest_entries:
+        name = entry.name[: -len(".rest")]
+        if not (paths.claims / name).exists():
+            # The owner finished and cleaned up mid-scan; drop the
+            # orphaned sidecar so the next scan is clean.
+            Path(entry.path).unlink(missing_ok=True)
+            paths.steal(name).unlink(missing_ok=True)
+            continue
+        if paths.steal(name).exists():
+            continue  # already carved once; one thief per ticket
+        positions = sorted(_read_positions(Path(entry.path)))
+        if len(positions) >= max(len(best_positions), MIN_STEAL_POINTS):
+            best_name, best_positions = name, positions
+    if best_name is None:
+        return False
+    take = best_positions[(len(best_positions) + 1) // 2 :]
+    if not take:
+        return False
+    steal_path = paths.steal(best_name)
+    try:
+        fd = os.open(steal_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False  # another thief won the carve
+    with os.fdopen(fd, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps({"positions": take}, sort_keys=True))
+    try:
+        ticket = json.loads((paths.claims / best_name).read_text())
+    except (OSError, json.JSONDecodeError):
+        # The owner completed between the scan and the carve; retract.
+        steal_path.unlink(missing_ok=True)
+        return False
+    points = points_of(ticket, best_name)
+    carved = [points[q] for q in take if q < len(points)]
+    if not carved:
+        steal_path.unlink(missing_ok=True)
+        return False
+    payload = dict(ticket)
+    payload["points"] = carved
+    new_name = _carve_name(carved, ticket.get("nonce", "steal"), f"s{uuid.uuid4().hex[:6]}")
+    spool.enqueue(new_name, payload)
+    tracer.event("steal", ticket=best_name, points=len(carved), carved=new_name)
+    if say is not None:
+        say(f"worker: stole {len(carved)} point(s) from {best_name}")
+    return True
 
 
 def run_worker(
@@ -267,19 +381,32 @@ def run_worker(
     progress: Callable[[str], None] | None = None,
     stop_file: str | os.PathLike | None = None,
     claim_batch: int = 1,
+    inline: bool = False,
+    steal: bool = True,
+    stats: SpoolStats | None = None,
 ) -> int:
     """Drain tickets from ``queue_dir`` until STOP (or ``max_idle`` seconds
-    without work); returns the number of tickets executed.
+    without work); returns the number of ticket *points* executed.
 
     Two stop sentinels: the spool-global ``STOP`` (an operator winding the
-    whole fleet down) and an optional ``stop_file`` (how a sweep dismisses
-    only the daemons it spawned, without touching external ones).
+    whole fleet down) and an optional ``stop_file`` (how a sweep or fleet
+    controller dismisses only the daemons it spawned, without touching
+    external ones).
 
-    ``claim_batch`` claims up to that many tickets per spool scan (the
-    lease scan is the dominant per-ticket cost on very large grids) and
-    executes them in index order, heartbeating the waiting batch-mates while
-    each runs.  Stop sentinels are honoured between batch items, releasing
-    any still-unexecuted claims back to the spool.
+    ``claim_batch`` claims up to that many tickets per claim pass
+    (index-entry consumption, not directory scans -- see ``spool.py``) and
+    executes them in claim order, heartbeating the waiting batch-mates
+    while each runs.  Stop sentinels are honoured between points,
+    republishing any still-unexecuted work back to the spool.
+
+    ``inline`` executes timeout-less points in-process instead of under
+    the subprocess watchdog -- much faster per point, but a crashing task
+    takes the daemon with it and nothing heartbeats *during* a point, so
+    reserve it for trusted, short tasks (the drain benchmark).  Points
+    with a runtime budget always get the watchdog.
+
+    ``steal`` lets an idle daemon carve unstarted points off another
+    daemon's in-flight block ticket (see :func:`try_steal`).
 
     With ``store``, every outcome is also persisted as a full
     ``ResultRecord`` in a local shard -- same cache keys as the submitting
@@ -288,12 +415,13 @@ def run_worker(
     Diagnostics go to the ``repro.experiments.queue`` logger unless a
     ``progress`` callback overrides them.  When ``REPRO_TRACE_DIR`` names a
     directory, the daemon also writes a ``worker-<pid>`` JSONL trace there:
-    lease/run/done task lines plus watchdog-kill and requeue events.
+    lease/run/done task lines plus watchdog-kill, steal and requeue events.
     """
     if claim_batch < 1:
         raise ValueError("claim_batch must be at least 1")
     paths = QueuePaths(queue_dir)
     paths.ensure()
+    spool = ShardedSpool(paths, stats=stats)
     say = progress or logger.info
     trace_dir = trace_dir_from_env()
     tracer = NULL_TRACER
@@ -314,8 +442,9 @@ def run_worker(
     def owned(name: str, ticket: dict) -> bool:
         # A claim is still ours only while its attempts count matches: a
         # collector that judged this daemon dead (e.g. it was suspended
-        # past the lease timeout) has requeued the ticket with a bumped
-        # count, and the claim may now belong to another daemon.
+        # past the lease timeout) has republished the ticket's remaining
+        # points and deleted this claim, or a stale same-name claim was
+        # requeued with a bumped count.
         try:
             return (
                 json.loads((paths.claims / name).read_text()).get("attempts")
@@ -324,39 +453,138 @@ def run_worker(
         except (OSError, json.JSONDecodeError):
             return False
 
+    def clear_claim(name: str) -> None:
+        for path in (
+            paths.claims / name,
+            paths.heartbeat(name),
+            paths.rest(name),
+            paths.steal(name),
+        ):
+            path.unlink(missing_ok=True)
+
     def release(name: str, ticket: dict) -> None:
         if owned(name, ticket):
-            (paths.claims / name).unlink(missing_ok=True)
-            paths.heartbeat(name).unlink(missing_ok=True)
+            clear_claim(name)
 
     def requeue(name: str, ticket: dict) -> None:
-        """Hand an unexecuted claim back to the spool (stop mid-batch)."""
+        """Hand a fully-unexecuted claim back to the spool (stop mid-batch)."""
         if not owned(name, ticket):
             return
         tracer.event("ticket_requeued", ticket=name)
         paths.heartbeat(name).unlink(missing_ok=True)
         try:
-            os.rename(paths.claims / name, paths.tasks / name)
+            spool.readmit(name)
         except OSError:
             # Lost a race with the collector's stale-lease reclaim (it
-            # renamed the claim away between the ownership check and here);
+            # removed the claim between the ownership check and here);
             # the ticket is back in circulation either way.
             pass
+
+    def republish_remaining(name: str, ticket: dict, positions: list[int]) -> None:
+        """Republish a ticket's unexecuted tail (stop mid-ticket)."""
+        points = points_of(ticket, name)
+        remaining = [points[q] for q in positions if q < len(points)]
+        if remaining:
+            payload = dict(ticket)
+            payload["points"] = remaining
+            spool.enqueue(
+                _carve_name(remaining, ticket.get("nonce", "requeue"), f"q{uuid.uuid4().hex[:6]}"),
+                payload,
+            )
+            tracer.event("ticket_requeued", ticket=name, points=len(remaining))
+        clear_claim(name)
+
+    def run_ticket(name: str, ticket: dict, extra_heartbeats: tuple[Path, ...]) -> tuple[int, bool]:
+        """Execute one ticket's points; returns (points done, stop seen)."""
+        points = points_of(ticket, name)
+        block = len(points) > 1
+        stolen = _read_positions(paths.steal(name)) if block else set()
+        modules = ticket.get("scenario_modules") or []
+        timeout = ticket.get("timeout")
+        done = 0
+        for pos, point in enumerate(points):
+            if pos in stolen:
+                continue
+            if stop_seen():
+                republish_remaining(
+                    name, ticket, [q for q in range(pos, len(points)) if q not in stolen]
+                )
+                return done, True
+            if block:
+                stolen |= _read_positions(paths.steal(name))
+                if pos in stolen:
+                    continue
+                if pos > 0 and not owned(name, ticket):
+                    # The collector reclaimed this lease mid-ticket (e.g.
+                    # the daemon was suspended past the lease timeout);
+                    # the remaining points now belong to someone else.
+                    say(f"worker: lease on {name} was reclaimed mid-ticket; stopping it")
+                    return done, False
+                # Publish what a thief may carve: strictly-after positions.
+                _write_json_atomic(
+                    paths.rest(name),
+                    {"positions": [q for q in range(pos + 1, len(points)) if q not in stolen]},
+                )
+            result_path = paths.results / point["result_name"]
+            if result_path.exists():
+                continue  # landed in an earlier attempt (half-run ticket)
+            say(f"worker: running {name} ({point['scenario']} #{point['index']})")
+            tracer.task(
+                "running", point["index"], ticket=name, attempts=ticket.get("attempts", 0)
+            )
+            paths.heartbeat(name).touch()
+            if inline and timeout is None:
+                outcome = execute_point(
+                    point["scenario"], point["params"], point["seed"], tuple(modules)
+                )
+            else:
+                outcome = _execute_with_watchdog(
+                    point,
+                    timeout,
+                    modules,
+                    paths.heartbeat(name),
+                    mp_start_method,
+                    extra_heartbeats=extra_heartbeats,
+                )
+            if store is not None:
+                store.put(record_from_point(ticket, point, outcome))
+            _write_json_atomic(
+                result_path, {"ticket": ticket, "point": point, "outcome": outcome}
+            )
+            done += 1
+            say(
+                f"worker: [{outcome['status']}] {point['result_name']} "
+                f"({outcome.get('duration_s', 0.0):.2f}s)"
+            )
+            tracer.task(
+                outcome["status"],
+                point["index"],
+                ticket=name,
+                duration_s=outcome.get("duration_s", 0.0),
+            )
+            if outcome["status"] == "timeout":
+                tracer.event("watchdog_kill", ticket=name, timeout_s=timeout)
+        release(name, ticket)
+        return done, False
 
     last_work = time.monotonic()
     n_done = 0
     stopping = False
     while not stopping:
         if stop_seen():
-            say(f"worker: stop sentinel seen after {n_done} task(s)")
+            say(f"worker: stop sentinel seen after {n_done} point(s)")
             break
-        batch = _claim_batch(paths, claim_batch)
+        batch = spool.claim(claim_batch)
         if batch and tracer.enabled:
             for name, ticket in batch:
-                tracer.task("leased", ticket.get("index", -1), ticket=name)
+                for point in points_of(ticket, name):
+                    tracer.task("leased", point.get("index", -1), ticket=name)
         if not batch:
+            if steal and try_steal(paths, spool, tracer, say):
+                last_work = time.monotonic()
+                continue
             if max_idle is not None and time.monotonic() - last_work > max_idle:
-                say(f"worker: idle for {max_idle}s after {n_done} task(s)")
+                say(f"worker: idle for {max_idle}s after {n_done} point(s)")
                 break
             time.sleep(poll_interval)
             continue
@@ -367,7 +595,7 @@ def run_worker(
                 stopping = True
                 for pending_name, pending_ticket in batch[position:]:
                     requeue(pending_name, pending_ticket)
-                say(f"worker: stop sentinel seen after {n_done} task(s)")
+                say(f"worker: stop sentinel seen after {n_done} point(s)")
                 break
             if position > 0 and not owned(name, ticket):
                 # The collector requeued this batch-mate while earlier items
@@ -376,33 +604,21 @@ def run_worker(
                 # daemon's work.
                 say(f"worker: lease on {name} was reclaimed; skipping")
                 continue
-            say(f"worker: claimed {name} ({ticket['scenario']} #{ticket['index']})")
-            tracer.task("running", ticket["index"], ticket=name, attempts=ticket.get("attempts", 0))
-            outcome = _execute_with_watchdog(
+            done, stopping = run_ticket(
+                name,
                 ticket,
-                paths.heartbeat(name),
-                mp_start_method,
-                extra_heartbeats=tuple(
-                    paths.heartbeat(pending_name) for pending_name, _ in batch[position + 1 :]
-                ),
+                tuple(paths.heartbeat(pending) for pending, _ in batch[position + 1 :]),
             )
-            if store is not None:
-                store.put(record_from_ticket(ticket, outcome))
-            _write_json_atomic(paths.results / name, {"ticket": ticket, "outcome": outcome})
-            release(name, ticket)
-            n_done += 1
-            last_work = time.monotonic()
-            say(f"worker: [{outcome['status']}] {name} ({outcome.get('duration_s', 0.0):.2f}s)")
-            tracer.task(
-                outcome["status"],
-                ticket["index"],
-                ticket=name,
-                duration_s=outcome.get("duration_s", 0.0),
-            )
-            if outcome["status"] == "timeout":
-                tracer.event(
-                    "watchdog_kill", ticket=name, timeout_s=ticket.get("timeout")
-                )
+            if done:
+                n_done += done
+                last_work = time.monotonic()
+            if stopping:
+                # run_ticket already republished its own tail; hand the
+                # untouched batch-mates back whole.
+                for pending_name, pending_ticket in batch[position + 1 :]:
+                    requeue(pending_name, pending_ticket)
+                say(f"worker: stop sentinel seen after {n_done} point(s)")
+                break
     tracer.event("worker_exit", executed=n_done)
     tracer.close()
     return n_done
@@ -417,7 +633,13 @@ class WorkQueueBackend(ExecutionBackend):
     ``workers > 0`` spawns that many local worker daemons (terminated at
     shutdown via the STOP sentinel); ``workers == 0`` relies entirely on
     externally-started daemons pointed at the same directory -- same
-    machine or any machine sharing the filesystem.
+    machine or any machine sharing the filesystem -- or on a fleet
+    controller (``python -m repro.experiments fleet``).
+
+    ``points_per_ticket > 1`` groups consecutive sweep points into block
+    tickets: fewer claims per sweep, and the unit the work-stealing
+    protocol splits.  ``shards=0`` forces the legacy flat spool layout
+    (the drain benchmark's baseline).
     """
 
     name = "queue"
@@ -432,9 +654,15 @@ class WorkQueueBackend(ExecutionBackend):
         worker_poll_interval: float = 0.05,
         worker_env: dict[str, str] | None = None,
         claim_batch: int = 1,
+        points_per_ticket: int = 1,
+        shards: int | None = None,
+        inline_workers: bool = False,
     ) -> None:
-        self.paths = QueuePaths(queue_dir)
+        if points_per_ticket < 1:
+            raise ValueError("points_per_ticket must be at least 1")
+        self.paths = QueuePaths(queue_dir, shards=shards)
         self.paths.ensure()
+        self.spool = ShardedSpool(self.paths)
         # Distinguishes this sweep's tickets and spawned daemons on a
         # shared spool (the global STOP sentinel belongs to the operator).
         self.nonce = uuid.uuid4().hex[:8]
@@ -442,9 +670,12 @@ class WorkQueueBackend(ExecutionBackend):
         self.lease_timeout = lease_timeout
         self.max_requeues = max_requeues
         self.mp_start_method = mp_start_method
+        self.points_per_ticket = points_per_ticket
+        #: Outstanding work, keyed by per-point result filename.
         self._tasks: dict[str, Task] = {}
+        self._buffer: list[Task] = []
         self._procs: list[subprocess.Popen] = []
-        # Lease checks stat claim/heartbeat files per outstanding task, so
+        # Lease checks stat claim/heartbeat files per outstanding ticket, so
         # run them on a fraction of the lease timeout, not on every poll.
         self._reclaim_interval = min(1.0, max(lease_timeout / 2.0, 0.05))
         self._next_reclaim = time.monotonic() + self._reclaim_interval
@@ -452,23 +683,26 @@ class WorkQueueBackend(ExecutionBackend):
         if worker_env:
             env.update(worker_env)
         for _ in range(max(workers, 0)):
+            argv = [
+                sys.executable,
+                "-m",
+                "repro.experiments",
+                "worker",
+                str(self.paths.root),
+                "--poll-interval",
+                str(worker_poll_interval),
+                "--mp-start",
+                mp_start_method,
+                "--stop-file",
+                str(self._stop_file),
+                "--claim-batch",
+                str(max(claim_batch, 1)),
+            ]
+            if inline_workers:
+                argv.append("--inline")
             self._procs.append(
                 subprocess.Popen(
-                    [
-                        sys.executable,
-                        "-m",
-                        "repro.experiments",
-                        "worker",
-                        str(self.paths.root),
-                        "--poll-interval",
-                        str(worker_poll_interval),
-                        "--mp-start",
-                        mp_start_method,
-                        "--stop-file",
-                        str(self._stop_file),
-                        "--claim-batch",
-                        str(max(claim_batch, 1)),
-                    ],
+                    argv,
                     env=env,
                     stdout=subprocess.DEVNULL,
                     stderr=subprocess.DEVNULL,
@@ -476,16 +710,29 @@ class WorkQueueBackend(ExecutionBackend):
             )
 
     def submit(self, task: Task) -> None:
-        """Enqueue the task as a JSON ticket in the spool."""
-        # The nonce makes the name unique to this sweep, so stale artifacts
-        # from earlier or concurrent sweeps can never alias this ticket.
-        name = ticket_name(task, self.nonce)
-        _write_json_atomic(self.paths.tasks / name, ticket_payload(task))
-        self._tasks[name] = task
-        self.trace.task("queued", task.index, ticket=name)
+        """Enqueue the task (buffered into a block ticket when configured)."""
+        self._buffer.append(task)
+        if len(self._buffer) >= self.points_per_ticket:
+            self._flush()
+
+    def _flush(self) -> None:
+        """Publish the buffered tasks as one spool ticket."""
+        if not self._buffer:
+            return
+        tasks = self._buffer
+        self._buffer = []
+        name = ticket_name(tasks, self.nonce)
+        payload = ticket_payload(tasks, self.nonce)
+        for task, point in zip(tasks, payload["points"]):
+            self._tasks[point["result_name"]] = task
+            self.trace.task("queued", task.index, ticket=name)
+        self.spool.enqueue(name, payload)
 
     def poll(self) -> list[tuple[Task, dict]]:
         """Collect results from the spool, requeueing stale-leased tickets."""
+        # A partial block left in the buffer is sealed at the first poll:
+        # the runner only polls once every pending task was submitted.
+        self._flush()
         # Reclaim first, so a ticket that just exhausted its lease attempts
         # surfaces as an error outcome in this same poll.
         if time.monotonic() >= self._next_reclaim:
@@ -503,17 +750,31 @@ class WorkQueueBackend(ExecutionBackend):
         batch.extend(self._check_daemons())
         return batch
 
+    def _own_claims(self) -> list[str]:
+        """This sweep's claim names (ticket files only, not sidecars)."""
+        suffix = f"-{self.nonce}.json"
+        try:
+            with os.scandir(self.paths.claims) as entries:
+                return [e.name for e in entries if e.name.endswith(suffix)]
+        except FileNotFoundError:
+            return []
+
     def _reclaim_dead_leases(self) -> None:
-        """Requeue outstanding claims whose daemon stopped heartbeating."""
+        """Republish outstanding claims whose daemon stopped heartbeating.
+
+        Scans the claims directory for this sweep's nonce rather than a
+        task map: steal carve-offs and republished remainders are claims
+        the collector never submitted itself, and their daemons can die
+        too.  Only the points that neither landed in ``results/`` nor
+        were carved off by a thief are republished.
+        """
         now = time.time()
         trace = self.trace
         if trace.enabled:
             trace.gauge("spool_outstanding", len(self._tasks))
         max_age = 0.0
-        for name in list(self._tasks):
+        for name in self._own_claims():
             claim = self.paths.claims / name
-            if not claim.exists():
-                continue
             beat = self.paths.heartbeat(name)
             try:
                 last = beat.stat().st_mtime if beat.exists() else claim.stat().st_mtime
@@ -528,42 +789,54 @@ class WorkQueueBackend(ExecutionBackend):
                 ticket = json.loads(claim.read_text())
             except (OSError, json.JSONDecodeError):
                 continue
-            ticket["attempts"] = ticket.get("attempts", 0) + 1
+            points = points_of(ticket, name)
+            stolen = _read_positions(self.paths.steal(name))
+            remaining = [
+                point
+                for pos, point in enumerate(points)
+                if pos not in stolen and not (self.paths.results / point["result_name"]).exists()
+            ]
+            attempts = ticket.get("attempts", 0) + 1
             logger.warning(
-                "lease on %s stale for %.1fs (attempt %d/%d)",
-                name, age, ticket["attempts"], self.max_requeues,
+                "lease on %s stale for %.1fs (attempt %d/%d, %d point(s) left)",
+                name, age, attempts, self.max_requeues, len(remaining),
             )
             trace.event(
                 "lease_reclaimed",
                 ticket=name,
                 heartbeat_age_s=round(age, 3),
-                attempts=ticket["attempts"],
+                attempts=attempts,
+                points=len(remaining),
             )
-            if ticket["attempts"] > self.max_requeues:
-                _write_json_atomic(
-                    self.paths.results / name,
-                    {
-                        "ticket": ticket,
-                        "outcome": {
-                            "status": "error",
-                            "error": (
-                                f"ticket lease expired {ticket['attempts']} time(s) "
-                                f"(worker died mid-task); giving up"
-                            ),
-                            "duration_s": 0.0,
+            if remaining and attempts > self.max_requeues:
+                for point in remaining:
+                    _write_json_atomic(
+                        self.paths.results / point["result_name"],
+                        {
+                            "ticket": ticket,
+                            "point": point,
+                            "outcome": {
+                                "status": "error",
+                                "error": (
+                                    f"ticket lease expired {attempts} time(s) "
+                                    f"(worker died mid-task); giving up"
+                                ),
+                                "duration_s": 0.0,
+                            },
                         },
-                    },
+                    )
+            elif remaining:
+                payload = dict(ticket)
+                payload["points"] = remaining
+                payload["attempts"] = attempts
+                # Republish under a fresh generation name *before* retiring
+                # the stale claim: a crash in between costs a duplicate
+                # ticket (deduped by per-point result files), never a loss.
+                self.spool.enqueue(
+                    _carve_name(remaining, self.nonce, f"r{attempts}"), payload
                 )
-                claim.unlink(missing_ok=True)
-                beat.unlink(missing_ok=True)
-            else:
-                # Republish by atomic rename of the (rewritten) claim: the
-                # old lease ceases to exist at the instant the ticket
-                # becomes claimable, so a racing daemon's fresh claim and
-                # heartbeat can never be deleted from under it.
-                beat.unlink(missing_ok=True)
-                _write_json_atomic(claim, ticket)
-                os.rename(claim, self.paths.tasks / name)
+            for stale in (claim, beat, self.paths.rest(name), self.paths.steal(name)):
+                stale.unlink(missing_ok=True)
         if trace.enabled and max_age:
             trace.gauge("max_heartbeat_age_s", round(max_age, 3))
 
@@ -580,18 +853,26 @@ class WorkQueueBackend(ExecutionBackend):
             return []
         codes = [proc.returncode for proc in self._procs]
         now = time.time()
+        hb_suffix = f"-{self.nonce}.json.hb"
 
-        def heartbeat_fresh(name: str) -> bool:
+        def any_heartbeat_fresh() -> bool:
             try:
-                age = now - self.paths.heartbeat(name).stat().st_mtime
+                with os.scandir(self.paths.claims) as entries:
+                    beats = [e for e in entries if e.name.endswith(hb_suffix)]
             except FileNotFoundError:
                 return False
-            return age <= self.lease_timeout
+            for entry in beats:
+                try:
+                    if now - entry.stat().st_mtime <= self.lease_timeout:
+                        return True
+                except FileNotFoundError:
+                    continue
+            return False
 
         # A fresh heartbeat on any of our tickets means an external daemon
         # is also draining this spool; leave everything to it rather than
         # discarding work it would have picked up.
-        if any(heartbeat_fresh(name) for name in self._tasks):
+        if any_heartbeat_fresh():
             return []
         logger.error(
             "all %d spawned queue workers exited (exit codes %s) with %d task(s) outstanding",
@@ -602,15 +883,12 @@ class WorkQueueBackend(ExecutionBackend):
         for name in list(self._tasks):
             landed = self.paths.results / name
             if landed.exists():
-                # The daemon finished this one on its way out; take the
+                # A daemon finished this one on its way out; take the
                 # real outcome over a synthesized failure.
                 payload = json.loads(landed.read_text())
                 batch.append((self._tasks.pop(name), payload["outcome"]))
                 landed.unlink(missing_ok=True)
                 continue
-            for stale in (self.paths.tasks / name, self.paths.claims / name,
-                          self.paths.heartbeat(name)):
-                stale.unlink(missing_ok=True)
             batch.append(
                 (
                     self._tasks.pop(name),
@@ -624,6 +902,28 @@ class WorkQueueBackend(ExecutionBackend):
                     },
                 )
             )
+        # Sweep this sweep's stranded spool tickets and claims so a shared
+        # spool is not littered with work nothing will ever drain.
+        suffix = f"-{self.nonce}.json"
+        spool_dirs = [self.paths.tasks]
+        if self.paths.shards:
+            spool_dirs += [self.paths.shard_dir(i) for i in range(self.paths.shards)]
+        for directory in spool_dirs:
+            try:
+                with os.scandir(directory) as entries:
+                    stale = [e.path for e in entries if e.name.endswith(suffix)]
+            except FileNotFoundError:
+                continue
+            for path in stale:
+                Path(path).unlink(missing_ok=True)
+        for name in self._own_claims():
+            for path in (
+                self.paths.claims / name,
+                self.paths.heartbeat(name),
+                self.paths.rest(name),
+                self.paths.steal(name),
+            ):
+                path.unlink(missing_ok=True)
         return batch
 
     def shutdown(self) -> None:

@@ -1,4 +1,4 @@
-"""``python -m repro.experiments`` -- list, run, report, worker, merge, trace.
+"""``python -m repro.experiments`` -- list, run, report, worker, fleet, merge, trace.
 
 Examples::
 
@@ -9,6 +9,8 @@ Examples::
     python -m repro.experiments run fig3-mst-tradeoff --backend queue \\
         --queue-dir /shared/q --workers 0          # external daemons drain it
     python -m repro.experiments worker /shared/q --store worker-shard
+    python -m repro.experiments fleet /shared/q --max-workers 8 --drain \\
+        --store-prefix worker-shard                # elastic local fleet
     python -m repro.experiments merge experiment-results worker-shard
     python -m repro.experiments report fig3-mst-tradeoff
     python -m repro.experiments report --format json | jq '.[].result'
@@ -35,7 +37,7 @@ import sys
 from dataclasses import asdict
 from pathlib import Path
 
-from repro.experiments.backends import BACKEND_NAMES, run_worker
+from repro.experiments.backends import BACKEND_NAMES, run_fleet, run_worker
 from repro.experiments.registry import ScenarioNotFound, get_scenario, list_scenarios
 from repro.experiments.runner import run_sweep
 from repro.experiments.store import DEFAULT_STORE, ResultStore
@@ -156,6 +158,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="tickets a spawned queue daemon claims per spool scan (--backend queue)",
     )
     run.add_argument(
+        "--points-per-ticket",
+        type=int,
+        default=1,
+        metavar="N",
+        help="group N consecutive sweep points into one block ticket "
+        "(--backend queue; block tickets are the unit work stealing splits)",
+    )
+    run.add_argument(
         "--trace",
         dest="trace_dir",
         metavar="DIR",
@@ -255,6 +265,88 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="tickets to claim per spool scan (amortises listing on large grids)",
     )
+    worker.add_argument(
+        "--inline",
+        action="store_true",
+        help="execute timeout-less tickets in-process instead of in a watchdog "
+        "subprocess (faster for short tasks; a crash takes the daemon down)",
+    )
+    worker.add_argument(
+        "--no-steal",
+        dest="steal",
+        action="store_false",
+        help="never carve points off other workers' leased block tickets",
+    )
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="supervisor: launch/retire local worker daemons from spool depth",
+    )
+    fleet.add_argument("queue_dir", help="spool directory (see `run --backend queue`)")
+    fleet.add_argument(
+        "--min-workers", type=int, default=0, help="never retire below this many daemons"
+    )
+    fleet.add_argument(
+        "--max-workers", type=int, default=4, help="hard cap on live daemons"
+    )
+    fleet.add_argument(
+        "--backlog-per-worker",
+        type=int,
+        default=4,
+        metavar="N",
+        help="target spool depth per live worker (scale-up trigger)",
+    )
+    fleet.add_argument(
+        "--interval", type=float, default=0.5, help="control-loop tick period in seconds"
+    )
+    fleet.add_argument(
+        "--cooldown",
+        type=float,
+        default=2.0,
+        help="seconds the backlog must stay low before a worker is retired",
+    )
+    fleet.add_argument(
+        "--drain",
+        action="store_true",
+        help="exit once the spool is empty and all claims resolved "
+        "(default: run until the STOP sentinel appears)",
+    )
+    fleet.add_argument(
+        "--max-runtime",
+        type=float,
+        default=None,
+        help="hard wall-clock bound on the controller in seconds",
+    )
+    fleet.add_argument(
+        "--store-prefix",
+        default=None,
+        metavar="PREFIX",
+        help="give each worker its own store shard PREFIX-<n> (merge later)",
+    )
+    fleet.add_argument(
+        "--claim-batch",
+        type=int,
+        default=1,
+        metavar="N",
+        help="tickets each worker claims per spool scan",
+    )
+    fleet.add_argument(
+        "--max-idle",
+        type=float,
+        default=None,
+        help="workers exit on their own after this many idle seconds",
+    )
+    fleet.add_argument(
+        "--inline",
+        action="store_true",
+        help="workers execute timeout-less tickets in-process (see `worker --inline`)",
+    )
+    fleet.add_argument(
+        "--mp-start",
+        choices=("spawn", "fork", "forkserver"),
+        default="spawn",
+        help="start method for the workers' watchdog subprocesses",
+    )
 
     merge = sub.add_parser("merge", help="import records from store shards into one store")
     merge.add_argument("dest", help="destination store directory")
@@ -321,6 +413,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             backend=args.backend,
             queue_dir=queue_dir,
             claim_batch=args.claim_batch,
+            points_per_ticket=args.points_per_ticket,
             trace=tracer,
         )
     finally:
@@ -358,8 +451,39 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         mp_start_method=args.mp_start,
         stop_file=args.stop_file,
         claim_batch=args.claim_batch,
+        inline=args.inline,
+        steal=args.steal,
     )
-    logger.info("worker: executed %d task(s)", n_done)
+    logger.info("worker: executed %d point(s)", n_done)
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    report = run_fleet(
+        args.queue_dir,
+        drain=args.drain,
+        max_runtime=args.max_runtime,
+        min_workers=args.min_workers,
+        max_workers=args.max_workers,
+        backlog_per_worker=args.backlog_per_worker,
+        interval=args.interval,
+        cooldown=args.cooldown,
+        store_prefix=args.store_prefix,
+        inline=args.inline,
+        claim_batch=args.claim_batch,
+        max_idle=args.max_idle,
+        mp_start_method=args.mp_start,
+        progress=logger.info,
+    )
+    print(
+        f"fleet: spawned {report.spawned}, retired {report.retired}, "
+        f"peak {report.peak_workers}, {report.ticks} tick(s), "
+        f"final depth {report.final_depth}"
+    )
+    crashed = sum(1 for code in report.exit_codes if code not in (0, None))
+    if crashed:
+        print(f"fleet: {crashed} worker(s) exited non-zero", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -409,9 +533,14 @@ def _cmd_merge(args: argparse.Namespace) -> int:
     dest = ResultStore(args.dest)
     total = 0
     for source in args.sources:
-        imported = dest.merge(source, overwrite=args.overwrite)
-        total += imported
-        print(f"merged {imported} record(s) from {source}")
+        summary = dest.merge(source, overwrite=args.overwrite)
+        total += summary.imported
+        detail = f"{summary.imported}/{summary.scanned} record(s)"
+        if summary.skipped:
+            detail += f", {summary.skipped} already present"
+        if summary.replaced:
+            detail += f", {summary.replaced} replaced"
+        print(f"merged {detail} from {source} in {summary.duration_s:.2f}s")
     print(f"{dest.root}: {total} imported, {dest.count()} total record(s)")
     return 0
 
@@ -476,6 +605,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_run(args)
         if args.command == "worker":
             return _cmd_worker(args)
+        if args.command == "fleet":
+            return _cmd_fleet(args)
         if args.command == "merge":
             return _cmd_merge(args)
         if args.command == "trace":

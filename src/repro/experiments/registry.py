@@ -172,10 +172,19 @@ def scenario(
     return decorate
 
 
+#: Modules already imported by :func:`load_builtin_scenarios`.  The call
+#: sits on every ``execute_point`` hot path, so skip the (surprisingly
+#: non-trivial) ``importlib.import_module`` sys.modules round-trip for
+#: modules this process has already loaded.
+_LOADED_MODULES: set[str] = set()
+
+
 def load_builtin_scenarios(extra_modules: tuple[str, ...] = ()) -> None:
     """Import the scenario modules (idempotent) to populate the registry."""
     for module in (*BUILTIN_SCENARIO_MODULES, *extra_modules):
-        importlib.import_module(module)
+        if module not in _LOADED_MODULES:
+            importlib.import_module(module)
+            _LOADED_MODULES.add(module)
 
 
 def get_scenario(name: str) -> Scenario:

@@ -62,6 +62,7 @@ def run_sweep(
     backend: str | ExecutionBackend = "auto",
     queue_dir: str | None = None,
     claim_batch: int = 1,
+    points_per_ticket: int = 1,
     trace: Tracer | None = None,
 ) -> SweepReport:
     """Run a sweep; returns records in the order of ``points``.
@@ -94,7 +95,9 @@ def run_sweep(
 
     ``claim_batch`` makes the queue backend's spawned daemons claim up to
     that many tickets per spool scan, amortising the directory listing on
-    very large grids (other backends ignore it).
+    very large grids, and ``points_per_ticket`` groups consecutive points
+    into block tickets (the unit work stealing splits -- see
+    ``docs/architecture.md``); other backends ignore both.
 
     ``trace`` receives sweep telemetry (``task`` lifecycle lines:
     submitted, cached, ok/error/timeout) and is handed to the backend for
@@ -186,6 +189,7 @@ def run_sweep(
                 maxtasksperchild=maxtasksperchild,
                 queue_dir=queue_dir,
                 claim_batch=claim_batch,
+                points_per_ticket=points_per_ticket,
             )
             if owned
             else backend

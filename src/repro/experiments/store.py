@@ -14,6 +14,7 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Any, Iterator
@@ -92,6 +93,32 @@ class ResultRecord:
         return cls(**{k: v for k, v in data.items() if k in known})
 
 
+@dataclass(eq=False)
+class MergeSummary:
+    """What one :meth:`ResultStore.merge` did, per the destination's view.
+
+    Compares equal to a plain int (its ``imported`` count) so existing
+    callers of the old ``merge() -> int`` keep working.
+    """
+
+    scanned: int = 0
+    imported: int = 0
+    skipped: int = 0
+    replaced: int = 0
+    duration_s: float = 0.0
+    per_scenario: dict[str, int] = field(default_factory=dict)
+
+    def __int__(self) -> int:
+        return self.imported
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, MergeSummary):
+            return asdict(self) == asdict(other)
+        if isinstance(other, int):
+            return self.imported == other
+        return NotImplemented
+
+
 class ResultStore:
     """Directory-backed store: write-once JSON records keyed by cache key."""
 
@@ -140,22 +167,68 @@ class ResultStore:
         """Number of stored records (optionally for one scenario)."""
         return sum(1 for _ in self.iter_records(scenario_name))
 
-    def merge(self, other: "ResultStore | str | os.PathLike", overwrite: bool = False) -> int:
+    def merge(
+        self, other: "ResultStore | str | os.PathLike", overwrite: bool = False
+    ) -> "MergeSummary":
         """Import every record from another store root into this one.
 
         Cache keys are content hashes, so records written by remote queue
         workers into local shards integrate under the same keys a central
         run would have used.  Existing records win unless ``overwrite``
-        (the store is write-once by convention).  Returns the number of
-        records imported.
+        (the store is write-once by convention).
+
+        The write path is batched, not ``put()``-per-record: destination
+        keys are snapshotted with one directory listing per scenario (no
+        per-record ``stat``), and every imported record is staged through
+        a single reused temp file and landed with an atomic
+        ``os.replace`` -- so a fleet's worth of worker shards merges in
+        O(records) cheap syscalls, and a crash mid-merge leaves at most
+        one ``.merge-*.tmp`` staging file, never a truncated record.
+        Records are still parsed on the way through: a malformed source
+        file raises instead of poisoning the destination.
+
+        Concurrent writers are safe: a worker ``put()``-ing the same key
+        during the merge races on the final ``os.replace`` only, and both
+        sides write complete records, so the destination always holds one
+        intact version.
+
+        Returns a :class:`MergeSummary` (compares equal to its
+        ``imported`` count for backward compatibility).
         """
         source = other if isinstance(other, ResultStore) else ResultStore(other)
         if source.root.resolve() == self.root.resolve():
             raise ValueError(f"cannot merge a store into itself: {self.root}")
-        imported = 0
-        for record in source.iter_records():
-            if not overwrite and self.has(record.scenario, record.key):
-                continue
-            self.put(record)
-            imported += 1
-        return imported
+        start = time.perf_counter()
+        summary = MergeSummary()
+        if not source.root.is_dir():
+            return summary
+        for source_dir in sorted(p for p in source.root.iterdir() if p.is_dir()):
+            scenario_name = source_dir.name
+            dest_dir = self.root / scenario_name
+            dest_dir.mkdir(parents=True, exist_ok=True)
+            try:
+                with os.scandir(dest_dir) as entries:
+                    existing = {e.name for e in entries if e.name.endswith(".json")}
+            except FileNotFoundError:
+                existing = set()
+            staging = dest_dir / f".merge-{os.getpid()}.tmp"
+            copied = 0
+            try:
+                for path in sorted(source_dir.glob("*.json")):
+                    summary.scanned += 1
+                    if path.name in existing:
+                        if not overwrite:
+                            summary.skipped += 1
+                            continue
+                        summary.replaced += 1
+                    record = ResultRecord.from_json(path.read_text())
+                    staging.write_text(record.to_json())
+                    os.replace(staging, dest_dir / path.name)
+                    summary.imported += 1
+                    copied += 1
+            finally:
+                staging.unlink(missing_ok=True)
+            if copied:
+                summary.per_scenario[scenario_name] = copied
+        summary.duration_s = time.perf_counter() - start
+        return summary

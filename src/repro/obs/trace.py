@@ -407,6 +407,27 @@ def summarize_trace(events: list[dict[str, Any]]) -> dict[str, Any]:
         if e["kind"] == "counter":
             name = e.get("name", "?")
             counters[name] = counters.get(name, 0) + e.get("value", 1)
+    # Gauges are levels, not increments: summarize the range each one
+    # moved through (a fleet trace's spool_depth going 500 -> 0 reads as
+    # min/max/last, where a counter-style sum would be meaningless).
+    gauges: dict[str, dict[str, float]] = {}
+    for e in events:
+        if e["kind"] != "gauge":
+            continue
+        name = e.get("name", "?")
+        value = float(e.get("value", 0))
+        stat = gauges.setdefault(
+            name, {"count": 0, "min": value, "max": value, "last": value}
+        )
+        stat["count"] += 1
+        stat["min"] = min(stat["min"], value)
+        stat["max"] = max(stat["max"], value)
+        stat["last"] = value
+    named_events: dict[str, int] = {}
+    for e in events:
+        if e["kind"] == "event":
+            name = e.get("name", "?")
+            named_events[name] = named_events.get(name, 0) + 1
     tasks: dict[str, int] = {}
     for e in events:
         if e["kind"] == "task":
@@ -432,5 +453,7 @@ def summarize_trace(events: list[dict[str, Any]]) -> dict[str, Any]:
         ],
         "spans": {k: spans[k] for k in sorted(spans)},
         "counters": {k: counters[k] for k in sorted(counters)},
+        "gauges": {k: gauges[k] for k in sorted(gauges)},
+        "events": {k: named_events[k] for k in sorted(named_events)},
         "task_states": {k: tasks[k] for k in sorted(tasks)},
     }

@@ -31,7 +31,8 @@ from repro.experiments import (
 )
 from repro.experiments.backends import resolve_backend
 from repro.experiments.backends.base import Task
-from repro.experiments.backends.queue import QueuePaths, _claim_batch
+from repro.experiments.backends.queue import QueuePaths, points_of
+from repro.experiments.backends.spool import ShardedSpool
 from repro.experiments.store import ResultRecord, cache_key
 
 
@@ -177,10 +178,9 @@ class TestQueueBackend:
         shard = ResultStore(tmp_path / "shard")
         points = expand_grid(get_scenario("bk-echo"), {"x": [5, 6]})
         backend = WorkQueueBackend(tmp_path / "spool", workers=0)
-        tasks_dir = QueuePaths(tmp_path / "spool").tasks
         for p in points:
             backend.submit(_task(p))
-        assert len(list(tasks_dir.glob("*.json"))) == 2
+        assert backend.spool.depth() == 2
         n_done = run_worker(
             tmp_path / "spool",
             store=shard,
@@ -220,15 +220,17 @@ class TestQueueBackend:
         listing), they execute in index order, and records match a serial
         run field for field."""
         points = expand_grid(get_scenario("bk-echo"), {"x": [1, 2, 3, 4, 5]})
-        backend = WorkQueueBackend(tmp_path / "spool", workers=0)
+        # shards=0 pins the legacy flat layout, whose claim order is the
+        # sorted (= grid) order; the sharded layout interleaves shards.
+        backend = WorkQueueBackend(tmp_path / "spool", workers=0, shards=0)
         paths = backend.paths
         for p in points:
             backend.submit(_task(p))
 
         # The claim primitive: one scan takes min(limit, available) tickets,
         # lowest grid index first, heartbeating each.
-        batch = _claim_batch(paths, 3)
-        assert [t["index"] for _, t in batch] == [0, 1, 2]
+        batch = ShardedSpool(paths).claim(3)
+        assert [points_of(t, n)[0]["index"] for n, t in batch] == [0, 1, 2]
         assert len(list(paths.tasks.glob("*.json"))) == 2
         assert all((paths.claims / name).exists() for name, _ in batch)
         assert all(paths.heartbeat(name).exists() for name, _ in batch)
@@ -266,24 +268,27 @@ class TestQueueBackend:
 
     def test_stale_lease_is_requeued_then_failed(self, tmp_path):
         backend = WorkQueueBackend(
-            tmp_path / "spool", workers=0, lease_timeout=0.1, max_requeues=1
+            tmp_path / "spool", workers=0, lease_timeout=0.1, max_requeues=1, shards=0
         )
         paths = backend.paths
         points = expand_grid(get_scenario("bk-echo"), {"x": [9]})
         backend.submit(_task(points[0]))
-        ticket = next(paths.tasks.glob("*.json"))
-        name = ticket.name
 
         def fake_dead_claim():
+            # A worker claims the ticket, then dies without heartbeating.
+            name = next(paths.tasks.glob("*.json")).name
             os.rename(paths.tasks / name, paths.claims / name)
             stale = time.time() - 60.0
             os.utime(paths.claims / name, (stale, stale))
 
         fake_dead_claim()
         time.sleep(0.15)
-        assert backend.poll() == []  # first expiry: requeued
-        assert (paths.tasks / name).exists()
-        assert json.loads((paths.tasks / name).read_text())["attempts"] == 1
+        assert backend.poll() == []  # first expiry: republished
+        # Reclaim republishes under a fresh generation name (a resumed
+        # owner must never collide with the new claimant's lease).
+        requeued = list(paths.tasks.glob("*.json"))
+        assert len(requeued) == 1
+        assert json.loads(requeued[0].read_text())["attempts"] == 1
 
         fake_dead_claim()
         time.sleep(0.15)
@@ -349,3 +354,48 @@ class TestStoreMerge:
         store = ResultStore(tmp_path)
         with pytest.raises(ValueError, match="itself"):
             store.merge(tmp_path)
+
+    def test_merge_summary_reports_what_happened(self, tmp_path):
+        left = ResultStore(tmp_path / "left")
+        run_sweep(expand_grid(get_scenario("bk-echo"), {"x": [1, 2, 3]}), store=left)
+        dest = ResultStore(tmp_path / "dest")
+        run_sweep(expand_grid(get_scenario("bk-echo"), {"x": [3]}), store=dest)
+        summary = dest.merge(left)
+        assert summary.scanned == 3
+        assert summary.imported == 2
+        assert summary.skipped == 1  # x=3 already present, store is write-once
+        assert summary.replaced == 0
+        assert summary.per_scenario == {"bk-echo": 2}
+        assert summary == 2  # int back-compat (the imported count)
+        assert int(summary) == 2
+        again = dest.merge(left, overwrite=True)
+        assert (again.imported, again.replaced, again.skipped) == (3, 3, 0)
+        # The staging file never outlives the merge.
+        assert not list((tmp_path / "dest").rglob(".merge-*"))
+
+    def test_merge_under_concurrent_writer_keeps_all_records(self, tmp_path):
+        """A worker put()-ing into the destination mid-merge races only on
+        atomic renames: every record from both sides survives intact."""
+        import threading
+
+        source = ResultStore(tmp_path / "source")
+        run_sweep(
+            expand_grid(get_scenario("bk-echo"), {"x": list(range(1, 30))}), store=source
+        )
+        live = run_sweep(
+            expand_grid(get_scenario("bk-echo"), {"x": list(range(30, 60))}), store=None
+        )
+        dest = ResultStore(tmp_path / "dest")
+
+        def writer():
+            for record in live.records:
+                dest.put(record)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        summary = dest.merge(source)
+        thread.join()
+        assert summary.imported == 29
+        records = list(dest.iter_records("bk-echo"))
+        assert len(records) == 59  # nothing lost, nothing truncated
+        assert {r.params["x"] for r in records} == set(range(1, 60))

@@ -1,0 +1,185 @@
+"""Sharded spool: layout resolution, the ready-index fast path, rescue scans.
+
+The load-bearing test here is the **scan-count regression guard**:
+claiming N tickets from a sharded spool must perform O(1) full directory
+scans (the index fast path), while the legacy flat layout pays one sorted
+listing per claim batch -- the exact cost PR 9 removes.  The counters come
+from :class:`SpoolStats`, which the claim path maintains unconditionally.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.backends.spool import (
+    DEFAULT_SHARDS,
+    QueuePaths,
+    ShardedSpool,
+    SpoolStats,
+)
+
+
+def _fill(spool, n, prefix="t"):
+    """Enqueue n minimal tickets (claiming only parses JSON)."""
+    names = [f"{i:06d}-{prefix}-abc123.json" for i in range(n)]
+    for name in names:
+        spool.enqueue(name, {"schema": 2, "points": [], "nonce": "abc123"})
+    return names
+
+
+def _spool(root, shards=None, stats=None):
+    paths = QueuePaths(root, shards=shards)
+    paths.ensure()
+    return ShardedSpool(paths, stats=stats or SpoolStats())
+
+
+class TestScanRegressionGuard:
+    def test_sharded_claims_are_o1_full_scans(self, tmp_path):
+        """Regression guard: draining N tickets one claim at a time reads
+        index tails (O(batch)), never one directory listing per claim."""
+        n = 50
+        spool = _spool(tmp_path / "q")
+        _fill(spool, n)
+        stats = spool.stats
+        claimed = []
+        for _ in range(n):
+            batch = spool.claim(1)
+            assert len(batch) == 1
+            claimed.append(batch[0][0])
+        assert len(set(claimed)) == n
+        assert stats.claimed == n
+        assert stats.index_hits == n  # every ticket served by the index
+        assert stats.full_scans == 0  # the guard: no per-claim listings
+        assert stats.rename_misses == 0
+
+    def test_flat_layout_pays_one_scan_per_claim_batch(self, tmp_path):
+        """The legacy layout's historical cost, pinned so the benchmark
+        baseline stays honest: one sorted listing per claim() call."""
+        n = 20
+        spool = _spool(tmp_path / "q", shards=0)
+        _fill(spool, n)
+        for i in range(n):
+            assert len(spool.claim(1)) == 1
+            assert spool.stats.full_scans == i + 1
+
+    def test_stale_index_hints_are_misses_not_errors(self, tmp_path):
+        """A ticket claimed by another daemon leaves a stale index line;
+        the next claimant counts a rename miss and moves on."""
+        spool_a = _spool(tmp_path / "q")
+        _fill(spool_a, 4)
+        spool_b = ShardedSpool(spool_a.paths, stats=SpoolStats())
+        took = {name for name, _ in spool_a.claim(4)}
+        assert len(took) == 4
+        # B's index cursors are fresh: every hint it reads is stale now.
+        assert spool_b.claim(4) == []
+        assert spool_b.stats.rename_misses == 4
+        assert spool_b.stats.claimed == 0
+
+
+class TestLayoutResolution:
+    def test_marker_wins_over_requested_shards(self, tmp_path):
+        first = QueuePaths(tmp_path / "q", shards=4)
+        first.ensure()
+        assert first.shards == 4
+        assert json.loads(first.marker.read_text())["shards"] == 4
+        # Every later process agrees on the layout, whatever it asked for.
+        assert QueuePaths(tmp_path / "q").shards == 4
+        assert QueuePaths(tmp_path / "q", shards=16).shards == 4
+
+    def test_new_spool_defaults_to_sharded(self, tmp_path):
+        assert QueuePaths(tmp_path / "q").shards == DEFAULT_SHARDS
+
+    def test_existing_flat_spool_autodetected(self, tmp_path):
+        """A pre-PR-9 spool (tickets in tasks/, no marker) keeps its
+        layout instead of being half-migrated by the first new process."""
+        tasks = tmp_path / "q" / "tasks"
+        tasks.mkdir(parents=True)
+        (tasks / "000000-old-abc.json").write_text("{}")
+        paths = QueuePaths(tmp_path / "q")
+        assert paths.shards == 0
+        paths.ensure()  # writes the marker, pinning flat for everyone
+        assert QueuePaths(tmp_path / "q", shards=8).shards == 0
+
+    def test_ticket_path_routes_by_layout(self, tmp_path):
+        sharded = QueuePaths(tmp_path / "a", shards=8)
+        name = "000001-k-n.json"
+        expected = sharded.shard_dir(sharded.shard_of(name)) / name
+        assert sharded.ticket_path(name) == expected
+        flat = QueuePaths(tmp_path / "b", shards=0)
+        assert flat.ticket_path(name) == flat.tasks / name
+
+
+class TestSpoolMechanics:
+    def test_readmit_is_found_without_a_scan(self, tmp_path):
+        """Readmit appends an index line, so other claimants re-find the
+        ticket through the fast path, not a verification scan."""
+        spool = _spool(tmp_path / "q")
+        [name] = _fill(spool, 1)
+        assert spool.claim(1)[0][0] == name
+        spool.readmit(name)
+        other = ShardedSpool(spool.paths, stats=SpoolStats())
+        assert other.claim(1)[0][0] == name
+        assert other.stats.full_scans == 0
+
+    def test_readmit_of_reclaimed_ticket_raises(self, tmp_path):
+        spool = _spool(tmp_path / "q")
+        with pytest.raises(OSError):
+            spool.readmit("000000-gone-abc.json")
+
+    def test_verify_scan_rescues_unindexed_and_legacy_tickets(self, tmp_path):
+        """Tickets invisible to the index -- a torn append, or a legacy
+        flat-layout file from before migration -- are claimed by the
+        rate-limited verification scan, never stranded."""
+        spool = _spool(tmp_path / "q")
+        # Dropped index line: the file is in its shard, the log is not.
+        orphan = "000007-orphan-abc.json"
+        (spool.paths.ticket_path(orphan)).write_text(
+            json.dumps({"schema": 2, "points": [], "nonce": "abc"})
+        )
+        # Legacy ticket left in tasks/ by a pre-sharding process.
+        legacy = "000008-legacy-abc.json"
+        (spool.paths.tasks / legacy).write_text(
+            json.dumps({"schema": 2, "points": [], "nonce": "abc"})
+        )
+        assert spool.depth() == 2
+        got = {spool.claim(1)[0][0] for _ in range(2)}
+        assert got == {orphan, legacy}
+        assert spool.depth() == 0
+
+    def test_unreadable_ticket_becomes_error_result(self, tmp_path):
+        spool = _spool(tmp_path / "q")
+        name = "000003-bad-abc.json"
+        spool.paths.ticket_path(name).write_text("{not json")
+        spool._index_append(spool.paths.shard_of(name), name)
+        assert spool.claim(1) == []
+        payload = json.loads((spool.paths.results / name).read_text())
+        assert payload["outcome"]["status"] == "error"
+        assert "unreadable" in payload["outcome"]["error"]
+
+    def test_compaction_resets_misses_and_rebuilds_index(self, tmp_path):
+        """After COMPACT_MISS_THRESHOLD stale hints on one shard, the
+        claimant rewrites that shard's index from a single listing."""
+        from repro.experiments.backends import spool as spool_mod
+
+        spool = _spool(tmp_path / "q", shards=1)
+        _fill(spool, 3)
+        # Poison the index with enough phantom names to trip compaction.
+        for i in range(spool_mod.COMPACT_MISS_THRESHOLD):
+            spool._index_append(0, f"9{i:05d}-phantom-x.json")
+        other = ShardedSpool(spool.paths, stats=SpoolStats())
+        # Ask for one more than exists: the real tickets claim first (in
+        # index order), then the phantom tail burns misses into a compact.
+        batch = other.claim(4)
+        assert len(batch) == 3
+        assert other.stats.compactions == 1
+        # The rewritten index holds only what is actually on disk.
+        assert other.paths.index_path(0).read_text() == ""
+
+    def test_depth_counts_all_layout_dirs(self, tmp_path):
+        spool = _spool(tmp_path / "q")
+        _fill(spool, 5)
+        (spool.paths.tasks / "000009-legacy-x.json").write_text("{}")
+        assert spool.depth() == 6
+        spool.claim(2)
+        assert spool.depth() == 4
