@@ -21,6 +21,7 @@ from repro.algorithms.framework import (
     PhasedProgram,
     PipelinedUpcastPhase,
 )
+from repro.congest.faults import FaultPlan
 from repro.congest.network import CongestNetwork, RunResult
 from repro.congest.node import Node
 
@@ -34,14 +35,30 @@ def run_centralised(
     diameter_bound: int | None = None,
     seed: int | None = 0,
     engine: str = "event",
+    max_rounds: int = 500_000,
+    faults: FaultPlan | None = None,
+    fault_seed: int | None = None,
+    broadcast_chunks: int = 8,
 ) -> tuple[Any, RunResult]:
     """Collect the weighted graph at a leader, apply ``solver``, broadcast.
 
     ``solver`` receives the reconstructed graph with string node names
     (``repr`` of the originals) and returns any broadcastable value.
+    ``broadcast_chunks`` bounds the answer's size in ``B``-bit chunks; the
+    broadcast phase's duration is common knowledge, so callers whose solver
+    returns more than the default 8 chunks' worth (e.g. an edge list) must
+    raise it from a bound computable before the run.
+
+    Under a fault plan the phases can stall or the broadcast can miss
+    nodes; a run that fails to reach a unanimous answer returns ``None``
+    as the answer (with the metrics intact) instead of raising, so
+    recovery scenarios can detect the failure and restart.  Edge-capacity
+    slack for the upcast covers the plan's scheduled edge insertions.
     """
     d = diameter_bound if diameter_bound is not None else nx.diameter(graph)
     m_count = graph.number_of_edges()
+    if faults is not None:
+        m_count += sum(1 for ev in faults.topology_events if ev.action == "insert")
     inputs = {node: {"diameter_bound": d} for node in graph.nodes()}
 
     def stage_items(node: Node, shared: dict) -> None:
@@ -72,13 +89,25 @@ def run_centralised(
                 LocalComputationPhase(stage_items),
                 PipelinedUpcastPhase("edge_items", "collected_edges", "edge_capacity"),
                 LocalComputationPhase(solve),
-                BroadcastPhase("answer", chunks=8),
+                BroadcastPhase("answer", chunks=broadcast_chunks),
                 LocalComputationPhase(finish),
             ]
         )
 
     network = CongestNetwork(
-        graph, factory, bandwidth=bandwidth, seed=seed, inputs=inputs, engine=engine
+        graph,
+        factory,
+        bandwidth=bandwidth,
+        seed=seed,
+        inputs=inputs,
+        engine=engine,
+        faults=faults,
+        fault_seed=fault_seed,
     )
-    result = network.run(max_rounds=500_000)
+    result = network.run(max_rounds=max_rounds)
+    if faults is not None and not faults.is_empty():
+        try:
+            return result.unanimous_output(), result
+        except ValueError:
+            return None, result
     return result.unanimous_output(), result

@@ -37,6 +37,7 @@ from repro.algorithms.framework import (
     PipelinedDowncastPhase,
     PipelinedUpcastPhase,
 )
+from repro.congest.faults import FaultPlan
 from repro.congest.message import Received
 from repro.congest.network import CongestNetwork, RunResult
 from repro.congest.node import Node, NodeProgram
@@ -716,8 +717,16 @@ class _SetCapacityPhase(Phase):
 
 
 def collect_tree_edges(outputs: dict[Hashable, Any]) -> set[frozenset]:
+    """Union the per-node ``tree_neighbors`` outputs into an edge set.
+
+    Nodes without a usable output -- a faulted run cut off at its horizon
+    can leave crashed nodes with ``None`` -- contribute nothing; their tree
+    edges still appear if the other endpoint finished.
+    """
     edges: set[frozenset] = set()
     for node_id, output in outputs.items():
+        if not isinstance(output, dict) or "tree_neighbors" not in output:
+            continue
         for neighbor in output["tree_neighbors"]:
             edges.add(frozenset((node_id, neighbor)))
     return edges
@@ -733,9 +742,26 @@ def run_boruvka_mst(
     seed: int | None = 0,
     max_rounds: int = 500_000,
     engine: str = "event",
+    faults: "FaultPlan | None" = None,
+    fault_seed: int | None = None,
 ) -> tuple[set[frozenset], RunResult]:
-    """Run Boruvka MST; returns (tree edges, run metrics)."""
-    network = CongestNetwork(graph, BoruvkaMSTProgram, bandwidth=bandwidth, seed=seed, engine=engine)
+    """Run Boruvka MST; returns (tree edges, run metrics).
+
+    With ``faults``, the run executes under the plan's adversity; cap
+    ``max_rounds`` explicitly (a fault-stalled run otherwise burns the full
+    default budget) and validate the returned edges before trusting them --
+    see the ``mst-under-faults`` scenario for the restart-based recovery
+    pattern.
+    """
+    network = CongestNetwork(
+        graph,
+        BoruvkaMSTProgram,
+        bandwidth=bandwidth,
+        seed=seed,
+        engine=engine,
+        faults=faults,
+        fault_seed=fault_seed,
+    )
     result = network.run(max_rounds=max_rounds)
     return collect_tree_edges(result.outputs), result
 

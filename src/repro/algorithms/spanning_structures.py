@@ -26,6 +26,8 @@ from typing import Hashable, Sequence
 import networkx as nx
 
 from repro.algorithms.centralised import run_centralised
+from repro.congest.faults import FaultPlan
+from repro.congest.message import bit_size
 from repro.congest.network import RunResult
 
 
@@ -220,6 +222,10 @@ def run_linear_size_spanner(
     stretch_k: int,
     bandwidth: int = 128,
     engine: str = "event",
+    max_rounds: int = 500_000,
+    faults: "FaultPlan | None" = None,
+    fault_seed: int | None = None,
+    include_edges: bool = False,
 ) -> tuple[dict, RunResult]:
     """Distributed linear-size spanner via pipelined centralisation.
 
@@ -228,19 +234,53 @@ def run_linear_size_spanner(
     its long silent stretches, so the event engine charges only the
     traffic -- the mostly-quiet regime the Elkin-Matar constructions live
     in.
+
+    ``include_edges`` adds the spanner's edge list to the broadcast answer
+    (costing the extra bits honestly) so recovery checks can compare the
+    reconstruction against a recompute.  Under a fault plan the leader's
+    snapshot can predate later churn (a stale skeleton) or the run can
+    fail outright (answer ``None``); the ``spanner-churn`` scenario checks
+    the answer against the post-churn graph and rebuilds when stale.
     """
 
     def solver(g: nx.Graph) -> dict:
         spanner = greedy_spanner(g, stretch_k)
-        return {
+        summary = {
             "n": g.number_of_nodes(),
             "m": g.number_of_edges(),
             "spanner_edges": spanner.number_of_edges(),
             "spanner_weight": sum(d["weight"] for _, _, d in spanner.edges(data=True)),
             "max_stretch": spanner_max_stretch(g, spanner),
         }
+        if include_edges:
+            summary["edges"] = sorted((u, v) if u < v else (v, u) for u, v in spanner.edges())
+        return summary
 
-    return run_centralised(graph, solver, bandwidth=bandwidth, engine=engine)
+    # The broadcast phase's duration is common knowledge, so the answer's
+    # size must be bounded before the run: with the edge list included, any
+    # spanner edge is an edge of the leader's snapshot, i.e. of the input
+    # graph plus the plan's scheduled insertions (whose endpoints are
+    # existing nodes), so the longest node name times the edge-count cap
+    # bounds the payload.
+    broadcast_chunks = 8
+    if include_edges:
+        longest = max(map(repr, graph.nodes()), key=len, default="")
+        cap_edges = graph.number_of_edges()
+        if faults is not None:
+            cap_edges += sum(1 for ev in faults.topology_events if ev.action == "insert")
+        bound_bits = 512 + cap_edges * bit_size((longest, longest))
+        broadcast_chunks = max(8, -(-bound_bits // bandwidth) + 1)
+
+    return run_centralised(
+        graph,
+        solver,
+        bandwidth=bandwidth,
+        engine=engine,
+        max_rounds=max_rounds,
+        faults=faults,
+        fault_seed=fault_seed,
+        broadcast_chunks=broadcast_chunks,
+    )
 
 
 def run_shortest_st_path(

@@ -18,6 +18,9 @@ of rounds, messages and bits.
   layers together.
 - :mod:`repro.congest.topology`  -- network families, including the
   Simulation-Theorem network of Figs. 8/10/13.
+- :mod:`repro.congest.faults`    -- deterministic fault injection: seeded
+  ``FaultPlan`` schedules (drops, duplicates, reorders, crash spans, edge
+  churn) applied by a ``FaultyTransport`` wrapper under the engine seam.
 """
 
 from repro.congest.engine import (
@@ -28,6 +31,13 @@ from repro.congest.engine import (
     StepPlan,
     get_engine,
     step_batch,
+)
+from repro.congest.faults import (
+    CrashSpan,
+    FaultPlan,
+    FaultStats,
+    FaultyTransport,
+    TopologyEvent,
 )
 from repro.congest.message import QubitPayload, Received, bit_size
 from repro.congest.network import BandwidthExceeded, CongestNetwork, RunResult, run_program
@@ -52,6 +62,11 @@ __all__ = [
     "get_engine",
     "LinkTransport",
     "run_program",
+    "FaultPlan",
+    "FaultyTransport",
+    "FaultStats",
+    "CrashSpan",
+    "TopologyEvent",
     "Node",
     "NodeProgram",
     "Received",

@@ -70,6 +70,10 @@ class RunResult:
     halted: bool
     max_edge_bits_per_round: int = 0
     per_round_bits: list[int] = field(default_factory=list)
+    #: Injected-fault counters (see :class:`repro.congest.faults.FaultStats`);
+    #: ``None`` for fault-free runs *and* for an empty plan, so an empty
+    #: ``FaultPlan`` run stays byte-identical to a no-plan run.
+    fault_stats: dict[str, int] | None = None
 
     def output_values(self) -> set:
         return set(self.outputs.values())
@@ -181,6 +185,7 @@ class Engine:
             halted=halted,
             max_edge_bits_per_round=transport.max_edge_bits_per_round,
             per_round_bits=transport.per_round_bits,
+            fault_stats=getattr(transport, "fault_summary", None),
         )
 
     @staticmethod
@@ -215,6 +220,10 @@ class DenseEngine(Engine):
         transport = network.transport
         trace = network.trace
         tracing = trace.enabled
+        fault_plan = network.faults
+        # The crash predicate, hoisted so fault-free runs pay one None check.
+        crashed = fault_plan.crashed if fault_plan is not None and fault_plan.has_crashes else None
+        has_events = fault_plan is not None and (fault_plan.crashes or fault_plan.topology_events)
         self._start(network)
 
         round_no = 0
@@ -228,17 +237,27 @@ class DenseEngine(Engine):
                 and transport.per_round_bits[-1] == 0
                 and transport.pending_traffic() == 0
                 and not transport.has_outgoing()
+                # A pending crash/recovery/topology event can re-animate a
+                # silent network; keep the clock running until the schedule
+                # is exhausted.
+                and (not has_events or fault_plan.next_event_round(round_no) is None)
             ):
                 round_no -= 1  # the silent probe round does not count
                 break
             round_no += 1
             network.current_round = round_no
+            if fault_plan is not None and fault_plan.topology_events:
+                network.apply_topology_events(round_no)
             if tracing:
                 pre_msgs, pre_bits = transport.total_messages, transport.total_bits
             inboxes = transport.deliver_round()
             plan = StepPlan(
                 round_no,
-                [nid for nid, node in network.nodes.items() if not node.halted],
+                [
+                    nid
+                    for nid, node in network.nodes.items()
+                    if not node.halted and (crashed is None or not crashed(nid, round_no))
+                ],
                 inboxes,
             )
             self._execute_plan(network, plan)
@@ -293,6 +312,10 @@ class EventEngine(Engine):
         transport = network.transport
         trace = network.trace
         tracing = trace.enabled
+        fault_plan = network.faults
+        crashed = fault_plan.crashed if fault_plan is not None and fault_plan.has_crashes else None
+        has_events = fault_plan is not None and (fault_plan.crashes or fault_plan.topology_events)
+        forced_wakes = fault_plan.forced_wakes() if has_events else {}
         self._start(network)
 
         order = {nid: i for i, nid in enumerate(network.nodes)}
@@ -326,28 +349,36 @@ class EventEngine(Engine):
                 and transport.per_round_bits[-1] == 0
                 and transport.pending_traffic() == 0
                 and not transport.has_outgoing()
+                # Match the dense engine: a scheduled crash/recovery/topology
+                # event can re-animate a silent network.
+                and (not has_events or fault_plan.next_event_round(round_no) is None)
             ):
                 round_no -= 1  # the silent probe round does not count
                 break
 
-            # Next interesting round: earliest delivery or program wake-up.
+            # Next interesting round: earliest delivery, program wake-up, or
+            # scheduled fault event (crash start/recovery, topology change) --
+            # the skip fast path must never leap over any of them.
             until = transport.rounds_until_delivery()
             delivery_round = None if until is None else round_no + until
             while heap and (wake.get(heap[0][2]) != heap[0][0] or network.nodes[heap[0][2]].halted):
                 heapq.heappop(heap)
             program_round = heap[0][0] if heap else None
+            fault_round = fault_plan.next_event_round(round_no) if has_events else None
 
             if stop_on_quiescence and transport.pending_traffic() == 0:
                 # The dense engine probes the very next round and stops on
                 # silence; jumping over it would skip that termination point.
                 target = round_no + 1
-            elif delivery_round is None and program_round is None:
+            elif delivery_round is None and program_round is None and fault_round is None:
                 # Nothing will ever happen again: idle out the clock.
                 self._skip(network, round_no, max_rounds - round_no)
                 round_no = max_rounds
                 break
             else:
-                candidates = [r for r in (delivery_round, program_round) if r is not None]
+                candidates = [
+                    r for r in (delivery_round, program_round, fault_round) if r is not None
+                ]
                 target = min(candidates)
 
             if target > max_rounds:
@@ -358,6 +389,8 @@ class EventEngine(Engine):
                 self._skip(network, round_no, target - round_no - 1)
             round_no = target
             network.current_round = round_no
+            if fault_plan is not None and fault_plan.topology_events:
+                network.apply_topology_events(round_no)
 
             if tracing:
                 pre_msgs, pre_bits = transport.total_messages, transport.total_bits
@@ -367,10 +400,22 @@ class EventEngine(Engine):
                 rnd, _, nid = heapq.heappop(heap)
                 if rnd == round_no and wake.get(nid) == rnd and not network.nodes[nid].halted:
                     step.add(nid)
+            if has_events:
+                # Recovered nodes and topology-event endpoints must be stepped
+                # even without a delivery: their wake entries may have gone
+                # stale while they were down, and their neighbourhood changed.
+                step.update(
+                    nid for nid in forced_wakes.get(round_no, ()) if nid in network.nodes
+                )
             plan = StepPlan(
                 round_no,
                 sorted(
-                    (nid for nid in step if not network.nodes[nid].halted),
+                    (
+                        nid
+                        for nid in step
+                        if not network.nodes[nid].halted
+                        and (crashed is None or not crashed(nid, round_no))
+                    ),
                     key=order.__getitem__,
                 ),
                 inboxes,
@@ -580,7 +625,9 @@ class ColumnarEngine(EventEngine):
 
     def run(self, network: "CongestNetwork", max_rounds: int, stop_on_quiescence: bool) -> RunResult:
         result = super().run(network, max_rounds, stop_on_quiescence)
-        transport = network.transport
+        # Unwrap the fault seam (if any): the columnar counters live on the
+        # inner transport the wrapper re-emits into.
+        transport = getattr(network.transport, "inner", network.transport)
         trace = network.trace
         if trace.enabled and isinstance(transport, ColumnarTransport):
             trace.event(

@@ -45,8 +45,9 @@ import networkx as nx
 
 from repro.congest.columnar import MinEdgeIndex
 from repro.congest.engine import Engine, RunResult, get_engine
+from repro.congest.faults import FaultPlan, FaultyTransport, apply_topology_event
 from repro.congest.node import Node, NodeProgram
-from repro.congest.topology import build_adjacency
+from repro.congest.topology import build_adjacency, invalidate_adjacency
 from repro.congest.transport import BandwidthExceeded, LinkTransport
 from repro.obs.trace import Tracer, current_tracer
 
@@ -69,12 +70,24 @@ class CongestNetwork:
         engine_threads: int | None = None,
         record_messages: bool = False,
         trace: Tracer | None = None,
+        faults: FaultPlan | None = None,
+        fault_seed: int | None = None,
     ):
         if graph.number_of_nodes() == 0:
             raise ValueError("network must have at least one node")
         if bandwidth < 1:
             raise ValueError("bandwidth must be at least 1")
+        if fault_seed is not None:
+            if faults is None:
+                raise ValueError("fault_seed requires a FaultPlan (faults=...)")
+            faults = faults.with_seed(fault_seed)
+        if faults is not None and faults.topology_events:
+            # The plan will mutate edges mid-run: work on a private copy so
+            # the caller's graph (and its cached adjacency) stay pristine.
+            graph = graph.copy()
         self.graph = graph
+        self.faults = faults
+        self._fault_events_applied = 0
         self.bandwidth = bandwidth
         self.strict = strict
         self.weight_key = weight
@@ -91,9 +104,19 @@ class CongestNetwork:
         self.transport = self.engine.build_transport(
             bandwidth, strict=strict, record_messages=record_messages
         )
+        if faults is not None:
+            # The fault seam sits between the engine and the transport it
+            # asked for; even an empty plan goes through the wrapper so the
+            # equivalence suite can assert the wrapper itself is transparent.
+            self.transport = FaultyTransport(self.transport, faults, trace=self.trace)
         if getattr(type(self.transport), "wants_trace", False):
             self.transport.trace = self.trace
         self._min_edge_index: MinEdgeIndex | None = None
+        if faults is not None and self.trace.enabled:
+            for span in faults.crashes:
+                self.trace.event(
+                    "fault_crash_span", node=repr(span.node), start=span.start, stop=span.stop
+                )
 
         # Canonical node order + per-node neighbour tuples, sorted by repr
         # and cached per graph (repeated builds over one instance reuse
@@ -160,6 +183,66 @@ class CongestNetwork:
     def _enqueue_many(self, sender: Hashable, receivers: list[Hashable], payload: Any, bits: int) -> None:
         self.transport.enqueue_many(sender, receivers, payload, bits, self.current_round)
 
+    def _drop_stale_send(self, sender: Hashable, receiver: Hashable) -> bool:
+        """Whether a send to a non-neighbour should be silently lost.
+
+        True only under a fault plan whose timeline says the link was
+        deleted -- the stale-reference case (a program still addressing a
+        BFS-tree child after churn removed the edge).  Everything else
+        stays a programming error raised by the node handle.
+        """
+        if self.faults is None:
+            return False
+        return self.transport.lost_link_send(sender, receiver, self.current_round)
+
+    # -- fault dynamism --------------------------------------------------------
+
+    def apply_topology_events(self, round_no: int) -> None:
+        """Apply every scheduled edge event with ``event.round <= round_no``.
+
+        Engines call this at the start of each executed round (the event
+        engines never skip past a scheduled round, so catch-up is a safety
+        net, not the normal path).  Applying an event splices the endpoints'
+        neighbour tuples in repr-sorted order, invalidates the graph's
+        cached adjacency (a paired insert+delete keeps the edge count
+        unchanged, defeating the cache's size signature), and drops the
+        lazily built min-edge index so fragment-minimum queries see the new
+        topology.
+        """
+        faults = self.faults
+        if faults is None:
+            return
+        events = faults.topology_events
+        i = self._fault_events_applied
+        mutated = False
+        while i < len(events) and events[i].round <= round_no:
+            event = events[i]
+            i += 1
+            if not apply_topology_event(self.graph, event, weight=self.weight_key):
+                continue
+            mutated = True
+            if event.action == "insert":
+                self.nodes[event.u]._insert_neighbor(event.v)
+                self.nodes[event.v]._insert_neighbor(event.u)
+            else:
+                self.nodes[event.u]._remove_neighbor(event.v)
+                self.nodes[event.v]._remove_neighbor(event.u)
+            stats = getattr(self.transport, "stats", None)
+            if stats is not None:
+                stats.topology_applied += 1
+            if self.trace.enabled:
+                self.trace.event(
+                    "fault_topology",
+                    round=round_no,
+                    action=event.action,
+                    u=repr(event.u),
+                    v=repr(event.v),
+                )
+        self._fault_events_applied = i
+        if mutated:
+            invalidate_adjacency(self.graph)
+            self._min_edge_index = None
+
     # -- execution -------------------------------------------------------------
 
     def run(self, max_rounds: int = 100_000, stop_on_quiescence: bool = False) -> RunResult:
@@ -189,6 +272,8 @@ def run_program(
     engine_threads: int | None = None,
     record_messages: bool = False,
     trace: Tracer | None = None,
+    faults: FaultPlan | None = None,
+    fault_seed: int | None = None,
 ) -> RunResult:
     """Convenience wrapper: build a network, run it, return the result."""
     network = CongestNetwork(
@@ -202,5 +287,7 @@ def run_program(
         engine_threads=engine_threads,
         record_messages=record_messages,
         trace=trace,
+        faults=faults,
+        fault_seed=fault_seed,
     )
     return network.run(max_rounds=max_rounds)

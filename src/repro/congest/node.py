@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import bisect
 import random
 from typing import TYPE_CHECKING, Any, Hashable, Iterable
 
@@ -63,6 +64,8 @@ class Node:
         if self.halted:
             raise RuntimeError(f"halted node {self.id!r} cannot send")
         if neighbor not in self._neighbors_cached:
+            if self._network._drop_stale_send(self.id, neighbor):
+                return
             raise ValueError(f"{neighbor!r} is not a neighbor of {self.id!r}")
         size = bit_size(payload) if bits is None else bits
         if size < 1:
@@ -96,6 +99,25 @@ class Node:
 
     def _neighbor_set(self) -> set:
         return self._neighbors_cached
+
+    # -- topology events (network-internal) ---------------------------------
+
+    def _insert_neighbor(self, neighbor: Hashable) -> None:
+        """Splice ``neighbor`` into the repr-sorted neighbour tuple (the
+        network's edge-insertion hook; programs never call this)."""
+        if neighbor in self._neighbors_cached:
+            return
+        neighbors = list(self.neighbors)
+        bisect.insort(neighbors, neighbor, key=repr)
+        self.neighbors = tuple(neighbors)
+        self._neighbors_cached.add(neighbor)
+
+    def _remove_neighbor(self, neighbor: Hashable) -> None:
+        """Drop ``neighbor`` from the neighbour tuple (edge-deletion hook)."""
+        if neighbor not in self._neighbors_cached:
+            return
+        self.neighbors = tuple(nid for nid in self.neighbors if nid != neighbor)
+        self._neighbors_cached.discard(neighbor)
 
 
 class NodeProgram:

@@ -54,6 +54,18 @@ def build_adjacency(
     return result
 
 
+def invalidate_adjacency(graph: nx.Graph) -> None:
+    """Drop ``graph``'s cached adjacency (if any).
+
+    The cache's ``(n_nodes, n_edges)`` signature catches most mutations,
+    but not all: a paired edge insert+delete (a fault plan's churn round)
+    leaves the counts unchanged while the adjacency differs.  Callers that
+    mutate edges must invalidate explicitly; the network's topology-event
+    application does.
+    """
+    _ADJACENCY_CACHE.pop(graph, None)
+
+
 def add_clique(graph: nx.Graph, members: Sequence[Hashable]) -> None:
     """Add all pairwise edges among ``members`` (the one clique builder --
     the simulation network's boundary columns and the dumbbell's end

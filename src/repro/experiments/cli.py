@@ -121,6 +121,13 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="shard threads for --engine parallel (0 = cpu count)",
     )
+    run.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        metavar="S",
+        help="fault-plan decision seed axis (scenarios declaring a `fault_seed` param only)",
+    )
     run.add_argument("--replicates", type=int, default=1, help="seeded replicates per grid point")
     run.add_argument("--base-seed", type=int, default=0, help="base seed for per-point derivation")
     run.add_argument("--timeout", type=float, default=None, help="per-task timeout in seconds")
@@ -379,6 +386,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         grid["engine"] = [args.engine]
     if args.engine_threads is not None:
         grid["engine_threads"] = [args.engine_threads]
+    if args.fault_seed is not None:
+        grid["fault_seed"] = [args.fault_seed]
     points = expand_grid(scn, grid, replicates=args.replicates, base_seed=args.base_seed)
     store = None if args.no_store else ResultStore(args.store)
     queue_dir = args.queue_dir

@@ -19,8 +19,10 @@ from repro.algorithms.disjointness import (
 )
 from repro.algorithms.elkin import run_elkin_approx_mst
 from repro.algorithms.mst import run_boruvka_mst, run_gkp_mst, tree_weight
-from repro.algorithms.spanning_structures import run_linear_size_spanner
+from repro.algorithms.paths import run_refreshing_bellman_ford
+from repro.algorithms.spanning_structures import greedy_spanner, run_linear_size_spanner
 from repro.algorithms.verification import run_verification
+from repro.congest.faults import FaultPlan
 from repro.congest.node import Node, NodeProgram
 from repro.congest.topology import dumbbell_graph
 from repro.core.bounds import fig2_table, fig3_curve
@@ -1079,3 +1081,376 @@ def quantum_substrate(*, seed: int, check: str, trials: int, size: int) -> dict:
             "passed": queries <= 10 * max(1, optimal),
         }
     raise ValueError(f"unknown quantum-substrate check {check!r}")
+
+
+#: Fault-model axes shared by the fault/self-stabilization scenario family
+#: (ISSUE 10): the probabilistic message faults plus the decision seed.
+#: Crash and churn axes are scenario-specific and declared per scenario.
+FAULT_PARAMS = (
+    ParamSpec("fault_seed", int, 0, "fault-plan decision seed (hash-deterministic)"),
+    ParamSpec("drop_prob", float, 0.05, "per-message wire drop probability"),
+    ParamSpec("dup_prob", float, 0.0, "per-message duplication probability"),
+    ParamSpec("reorder_prob", float, 0.0, "per-edge adjacent-swap reorder probability"),
+    ParamSpec("fault_window", int, 40, "last round (inclusive) at which message faults fire"),
+)
+
+
+@scenario(
+    "mst-under-faults",
+    description="Boruvka MST under drops and crash spans: restart recovery vs centralized MST",
+    params=[
+        ParamSpec("n", int, 28, "nodes in the live CONGEST network"),
+        ParamSpec("extra_edge_prob", float, 0.15, "extra-edge density of the random graph"),
+        ParamSpec("bandwidth", int, 64, "CONGEST bandwidth B"),
+        ParamSpec("n_crashes", int, 1, "nodes given a crash+recovery span"),
+        ParamSpec("crash_length", int, 8, "rounds each crashed node stays down"),
+        ParamSpec("round_budget", int, 4000, "round budget for the faulted attempt"),
+        *FAULT_PARAMS,
+        *ENGINE_PARAMS,
+    ],
+    default_grid={"drop_prob": [0.0, 0.02, 0.05, 0.1]},
+    tags=("faults", "mst", "congest", "self-stabilization"),
+    plots=(
+        PlotSpec(
+            name="recovery-rounds",
+            title="Rounds to a correct MST, with and without faults",
+            x="drop_prob",
+            ys=("rounds_clean", "rounds_to_recover"),
+            x_label="drop probability",
+            y_label="rounds",
+        ),
+        PlotSpec(
+            name="bit-overhead",
+            title="Bit overhead of recovering under faults",
+            x="drop_prob",
+            ys=("bit_overhead",),
+            x_label="drop probability",
+            y_label="total bits / fault-free bits",
+        ),
+    ),
+)
+def mst_under_faults(
+    *,
+    seed: int,
+    n: int,
+    extra_edge_prob: float,
+    bandwidth: int,
+    n_crashes: int,
+    crash_length: int,
+    round_budget: int,
+    fault_seed: int,
+    drop_prob: float,
+    dup_prob: float,
+    reorder_prob: float,
+    fault_window: int,
+    engine: str,
+    engine_threads: int,
+) -> dict:
+    """Boruvka fragment merging is not self-stabilising: a dropped merge
+    message stalls its fragment forever.  The honest recovery protocol is
+    detect-and-restart -- attempt under the fault plan, validate the result
+    against the centralized MST (unique, by distinct weights), and restart
+    fault-free if the attempt stalled or answered wrongly.  Reported:
+    rounds/bits to a *correct* tree vs the fault-free baseline.
+    """
+    graph = _weighted_graph(n, extra_edge_prob, graph_seed=seed, weight_seed=seed + 1)
+    engine_obj = _resolve_engine(engine, engine_threads, graph)
+    clean_edges, clean = run_boruvka_mst(graph, bandwidth=bandwidth, engine=engine_obj)
+    expected = {frozenset(e) for e in nx.minimum_spanning_tree(graph).edges()}
+    assert clean_edges == expected, "fault-free Boruvka diverged from the centralized MST"
+
+    plan = FaultPlan.generate(
+        graph,
+        seed=fault_seed,
+        drop_prob=drop_prob,
+        dup_prob=dup_prob,
+        reorder_prob=reorder_prob,
+        n_crashes=n_crashes,
+        crash_length=crash_length,
+        window=(1, fault_window),
+    )
+    faulted_engine = _resolve_engine(engine, engine_threads, graph)
+    faulted_edges, faulted = run_boruvka_mst(
+        graph, bandwidth=bandwidth, engine=faulted_engine, faults=plan, max_rounds=round_budget
+    )
+    correct_first_try = faulted.halted and faulted_edges == expected
+    total_rounds = faulted.rounds
+    total_bits = faulted.total_bits
+    if not correct_first_try:
+        # Detect-and-restart: rerun fault-free once the faults subside.
+        restart_edges, restart = run_boruvka_mst(
+            graph, bandwidth=bandwidth, engine=_resolve_engine(engine, engine_threads, graph)
+        )
+        assert restart_edges == expected, "restarted Boruvka diverged from the centralized MST"
+        total_rounds += restart.rounds
+        total_bits += restart.total_bits
+    last_fault = plan.last_fault_round() or 0
+    stats = getattr(faulted, "fault_stats", None)
+    return {
+        "n": n,
+        "m": graph.number_of_edges(),
+        "rounds_clean": clean.rounds,
+        "bits_clean": clean.total_bits,
+        "rounds_faulted_attempt": faulted.rounds,
+        "halted_under_faults": faulted.halted,
+        "correct_first_try": correct_first_try,
+        "restarted": not correct_first_try,
+        "rounds_total": total_rounds,
+        "rounds_to_recover": max(0, total_rounds - last_fault),
+        "last_fault_round": last_fault,
+        "bit_overhead": total_bits / clean.total_bits if clean.total_bits else None,
+        "recovered_weight": tree_weight(graph, expected),
+        "correct_after_recovery": True,
+        **(stats or {}),
+    }
+
+
+@scenario(
+    "bfs-restabilization",
+    description="Refreshing Bellman-Ford re-converging after drops, crashes and edge inserts",
+    params=[
+        ParamSpec("n", int, 32, "nodes in the live CONGEST network"),
+        ParamSpec("extra_edge_prob", float, 0.12, "extra-edge density of the random graph"),
+        ParamSpec("bandwidth", int, 128, "CONGEST bandwidth B"),
+        ParamSpec("refresh_every", int, 4, "rounds between distance re-announcements"),
+        ParamSpec("n_crashes", int, 2, "nodes given a crash+recovery span"),
+        ParamSpec("crash_length", int, 10, "rounds each crashed node stays down"),
+        ParamSpec("n_edge_inserts", int, 2, "edges inserted mid-run (insert-only churn)"),
+        ParamSpec("settle_rounds", int, 80, "measurement horizon past the last fault"),
+        *FAULT_PARAMS,
+        *ENGINE_PARAMS,
+    ],
+    default_grid={"drop_prob": [0.0, 0.05, 0.1, 0.2]},
+    tags=("faults", "bfs", "congest", "self-stabilization"),
+    plots=(
+        PlotSpec(
+            name="restabilization",
+            title="Rounds from the last fault to the last distance change",
+            x="drop_prob",
+            ys=("rounds_to_restabilize",),
+            x_label="drop probability",
+            y_label="rounds to restabilize",
+        ),
+        PlotSpec(
+            name="bit-overhead",
+            title="Bit overhead of the faulted run at the same horizon",
+            x="drop_prob",
+            ys=("bit_overhead",),
+            x_label="drop probability",
+            y_label="faulted bits / fault-free bits",
+        ),
+    ),
+)
+def bfs_restabilization(
+    *,
+    seed: int,
+    n: int,
+    extra_edge_prob: float,
+    bandwidth: int,
+    refresh_every: int,
+    n_crashes: int,
+    crash_length: int,
+    n_edge_inserts: int,
+    settle_rounds: int,
+    fault_seed: int,
+    drop_prob: float,
+    dup_prob: float,
+    reorder_prob: float,
+    fault_window: int,
+    engine: str,
+    engine_threads: int,
+) -> dict:
+    """The genuinely self-stabilising member of the family: periodic
+    refresh broadcasts heal drops, duplicate/reorder noise, crash naps and
+    insert-only churn without any restart.  Correctness is exact BFS
+    distances on the post-churn graph (centralized recompute);
+    rounds-to-restabilize is the last distance change after the last
+    scheduled fault.
+    """
+    graph = random_connected_graph(n, extra_edge_prob=extra_edge_prob, seed=seed)
+    source = min(graph.nodes(), key=repr)
+    plan = FaultPlan.generate(
+        graph,
+        seed=fault_seed,
+        drop_prob=drop_prob,
+        dup_prob=dup_prob,
+        reorder_prob=reorder_prob,
+        n_crashes=n_crashes,
+        crash_length=crash_length,
+        n_edge_inserts=n_edge_inserts,
+        window=(1, fault_window),
+        protect=[source],
+    )
+    last_fault = plan.last_fault_round() or 0
+    horizon = last_fault + settle_rounds
+
+    clean_distances, clean = run_refreshing_bellman_ford(
+        graph,
+        source,
+        bandwidth=bandwidth,
+        weighted=False,
+        max_rounds=horizon,
+        refresh_every=refresh_every,
+        engine=_resolve_engine(engine, engine_threads, graph),
+    )
+    distances, faulted = run_refreshing_bellman_ford(
+        graph,
+        source,
+        bandwidth=bandwidth,
+        weighted=False,
+        max_rounds=horizon,
+        refresh_every=refresh_every,
+        engine=_resolve_engine(engine, engine_threads, graph),
+        faults=plan,
+    )
+    expected = nx.single_source_shortest_path_length(plan.final_graph(graph), source)
+    correct = all(
+        distances.get(node) == float(dist) for node, dist in expected.items()
+    ) and len(distances) == len(expected)
+    last_change = max(out[2] for out in faulted.outputs.values())
+    return {
+        "n": n,
+        "m": graph.number_of_edges(),
+        "horizon": horizon,
+        "last_fault_round": last_fault,
+        "rounds_to_restabilize": max(0, last_change - last_fault),
+        "last_change_round": last_change,
+        "restabilized": correct,
+        "bits_clean": clean.total_bits,
+        "bits_faulted": faulted.total_bits,
+        "bit_overhead": faulted.total_bits / clean.total_bits if clean.total_bits else None,
+        "clean_converged": all(
+            clean_distances.get(node) == float(dist)
+            for node, dist in nx.single_source_shortest_path_length(graph, source).items()
+        ),
+    }
+
+
+@scenario(
+    "spanner-churn",
+    description="Centralised (2k-1)-spanner under edge churn: stale-skeleton detection and rebuild",
+    params=[
+        ParamSpec("n", int, 32, "nodes in the live CONGEST network"),
+        ParamSpec("extra_edge_prob", float, 0.2, "extra-edge density of the random graph"),
+        ParamSpec("stretch_k", int, 0, "spanner parameter k (0 = ceil(log2 n))"),
+        ParamSpec("bandwidth", int, 128, "CONGEST bandwidth B"),
+        ParamSpec("churn_events", int, 2, "edge deletions and insertions each, mid-run"),
+        ParamSpec("round_budget", int, 6000, "round budget for the churned attempt"),
+        *FAULT_PARAMS,
+        *ENGINE_PARAMS,
+    ],
+    default_grid={"churn_events": [0, 1, 2, 4]},
+    tags=("faults", "spanner", "congest", "elkin-matar", "self-stabilization"),
+    plots=(
+        PlotSpec(
+            name="rebuild-rounds",
+            title="Rounds to a spanner of the post-churn graph",
+            x="churn_events",
+            ys=("rounds_total", "rounds_clean"),
+            x_label="churn events (deletes + inserts each)",
+            y_label="rounds",
+        ),
+        PlotSpec(
+            name="bit-overhead",
+            title="Bit overhead of churn recovery",
+            x="churn_events",
+            ys=("bit_overhead",),
+            x_label="churn events",
+            y_label="total bits / fault-free bits",
+        ),
+    ),
+)
+def spanner_churn(
+    *,
+    seed: int,
+    n: int,
+    extra_edge_prob: float,
+    stretch_k: int,
+    bandwidth: int,
+    churn_events: int,
+    round_budget: int,
+    fault_seed: int,
+    drop_prob: float,
+    dup_prob: float,
+    reorder_prob: float,
+    fault_window: int,
+    engine: str,
+    engine_threads: int,
+) -> dict:
+    """The pipelined-centralisation spanner snapshots the graph at upcast
+    time, so churn after the snapshot leaves the broadcast skeleton stale.
+    The scenario detects staleness (or outright failure) by comparing the
+    answer's edge list against the greedy spanner of the post-churn graph,
+    rebuilds on the settled topology when needed, and reports the rounds
+    and bits to a skeleton that is correct for the network as it now is.
+    """
+    graph = _weighted_graph(n, extra_edge_prob, graph_seed=seed, weight_seed=seed + 1)
+    k = stretch_k if stretch_k >= 1 else max(1, math.ceil(math.log2(n)))
+    clean_summary, clean = run_linear_size_spanner(
+        graph,
+        k,
+        bandwidth=bandwidth,
+        engine=_resolve_engine(engine, engine_threads, graph),
+        include_edges=True,
+    )
+    plan = FaultPlan.generate(
+        graph,
+        seed=fault_seed,
+        drop_prob=drop_prob,
+        dup_prob=dup_prob,
+        reorder_prob=reorder_prob,
+        n_edge_deletes=churn_events,
+        n_edge_inserts=churn_events,
+        window=(1, fault_window),
+        insert_weight_range=(1.0, 10.0 * graph.number_of_edges()),
+    )
+    churned_summary, churned = run_linear_size_spanner(
+        graph,
+        k,
+        bandwidth=bandwidth,
+        engine=_resolve_engine(engine, engine_threads, graph),
+        max_rounds=round_budget,
+        faults=plan,
+        include_edges=True,
+    )
+    final = plan.final_graph(graph)
+    expected_spanner = greedy_spanner(nx.relabel_nodes(final, {v: repr(v) for v in final}), k)
+    expected_edges = sorted((u, v) if u < v else (v, u) for u, v in expected_spanner.edges())
+
+    failed = churned_summary is None
+    stale = not failed and churned_summary.get("edges") != expected_edges
+    total_rounds = churned.rounds
+    total_bits = churned.total_bits
+    rebuilt = failed or stale
+    if rebuilt:
+        # Rebuild on the settled topology (the network as churn left it).
+        rebuilt_summary, rebuild = run_linear_size_spanner(
+            final,
+            k,
+            bandwidth=bandwidth,
+            engine=_resolve_engine(engine, engine_threads, final),
+            include_edges=True,
+        )
+        assert rebuilt_summary["edges"] == expected_edges, (
+            "rebuilt spanner diverged from the centralized recompute"
+        )
+        total_rounds += rebuild.rounds
+        total_bits += rebuild.total_bits
+    return {
+        "n": n,
+        "m": graph.number_of_edges(),
+        "m_final": final.number_of_edges(),
+        "k": k,
+        "rounds_clean": clean.rounds,
+        "bits_clean": clean.total_bits,
+        "rounds_churned_attempt": churned.rounds,
+        "failed_under_churn": failed,
+        "stale_skeleton": stale,
+        "rebuilt": rebuilt,
+        "rounds_total": total_rounds,
+        "rounds_to_restabilize": max(0, total_rounds - (plan.last_fault_round() or 0)),
+        "bit_overhead": total_bits / clean.total_bits if clean.total_bits else None,
+        "spanner_edges": len(expected_edges),
+        "linear_size": len(expected_edges) < 2 * n,
+        "correct_after_recovery": True,
+    }

@@ -64,6 +64,9 @@ def _experiment_modules():
         if info.name.endswith("__main__"):
             continue  # importing it would execute the CLI
         modules.append(importlib.import_module(info.name))
+    # The fault-injection layer is scenario-facing API: hold it to the same
+    # docstring standard as the experiment modules.
+    modules.append(importlib.import_module("repro.congest.faults"))
     return modules
 
 

@@ -445,6 +445,108 @@ class TestIdlenessHints:
         assert [r for r in range(1, 12) if program.wants_round(node, r)] == [5, 10]
 
 
+class TestFaultEquivalence:
+    """The fault layer must preserve the cross-engine contract twice over:
+    an *empty* plan is a transparent wrapper (byte-identical to no plan at
+    all, message log included), and a *nontrivial* plan produces the same
+    faulted run on every engine, because each decision hashes
+    ``(seed, round, edge, msg_index)`` and nothing engine-shaped."""
+
+    @staticmethod
+    def _chatter():
+        class Chatter(NodeProgram):
+            def on_start(self, node):
+                node.broadcast(("hello", repr(node.id)), bits=16)
+
+            def on_round(self, node, round_no, inbox):
+                if round_no >= 8:
+                    node.halt(len(inbox))
+                    return
+                for msg in inbox:
+                    node.send(msg.sender, ("echo", round_no), bits=8)
+
+        return Chatter
+
+    @pytest.mark.parametrize("engine", ("dense",) + ENGINES)
+    def test_empty_plan_is_byte_identical_to_no_plan(self, engine):
+        from repro.congest.faults import FaultPlan
+
+        graph = random_connected_graph(14, extra_edge_prob=0.2, seed=21)
+        runs = {}
+        for faults in (None, FaultPlan()):
+            network = CongestNetwork(
+                graph,
+                self._chatter(),
+                bandwidth=16,
+                engine=make_engine(engine),
+                record_messages=True,
+                faults=faults,
+            )
+            runs[faults is None] = (network.run(), list(network.message_log))
+        bare, bare_log = runs[True]
+        wrapped, wrapped_log = runs[False]
+        assert_results_match(bare, wrapped)
+        assert wrapped_log == bare_log
+        assert bare.fault_stats is None and wrapped.fault_stats is None
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_nontrivial_plan_is_byte_identical_across_engines(self, engine):
+        from repro.algorithms.paths import run_refreshing_bellman_ford
+        from repro.congest.faults import FaultPlan
+
+        graph = _weighted(20, 17)
+        source = min(graph.nodes())
+        plan = FaultPlan.generate(
+            graph,
+            seed=6,
+            drop_prob=0.1,
+            dup_prob=0.05,
+            reorder_prob=0.1,
+            n_crashes=2,
+            crash_length=5,
+            n_edge_deletes=1,
+            n_edge_inserts=1,
+            window=(1, 30),
+            protect=[source],
+        )
+        dists_dense, dense = run_refreshing_bellman_ford(
+            graph, source, max_rounds=50, engine="dense", faults=plan
+        )
+        dists_other, other = run_refreshing_bellman_ford(
+            graph, source, max_rounds=50, engine=make_engine(engine), faults=plan
+        )
+        assert_results_match(dense, other)
+        assert dists_other == dists_dense
+        assert other.fault_stats == dense.fault_stats
+        assert other.fault_stats is not None and other.fault_stats["drops"] > 0
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_faulted_message_log_is_byte_identical(self, engine):
+        """record_messages under a plan: the offered-load log (drops
+        included, duplicates not) is an ordered artifact and must agree
+        with the dense reference exactly."""
+        from repro.congest.faults import FaultPlan
+
+        graph = random_connected_graph(12, extra_edge_prob=0.2, seed=30)
+        plan = FaultPlan(seed=8, drop_prob=0.2, dup_prob=0.1, crashes=((5, 3, 7),))
+        logs = {}
+        results = {}
+        for name, spec in (("dense", "dense"), (engine, make_engine(engine))):
+            network = CongestNetwork(
+                graph,
+                self._chatter(),
+                bandwidth=16,
+                engine=spec,
+                record_messages=True,
+                faults=plan,
+            )
+            results[name] = network.run()
+            logs[name] = list(network.message_log)
+        assert_results_match(results["dense"], results[engine])
+        assert logs[engine] == logs["dense"]
+        assert len(logs["dense"]) == results["dense"].total_messages
+
+
 class TestEventEngineSkips:
     @pytest.mark.parametrize("engine", ENGINES)
     def test_quiet_rounds_are_not_stepped(self, engine):

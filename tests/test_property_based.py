@@ -131,6 +131,92 @@ class TestCodesProperties:
         assert hamming_distance(x, x) == 0
 
 
+class TestFaultDeterminismProperties:
+    """The fault layer's determinism contract: every decision is a pure
+    function of ``(plan seed, round, edge, msg_index)``, so identical seeds
+    give identical adversaries on any engine, thread count, or claim
+    batch -- and different seeds give different ones."""
+
+    @given(st.integers(0, 10_000), st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_decisions_pure_in_the_seed(self, seed, other_seed):
+        from repro.congest.faults import FaultPlan
+
+        plan = FaultPlan(seed=seed, drop_prob=0.5, dup_prob=0.5, reorder_prob=0.5)
+        twin = FaultPlan(seed=seed, drop_prob=0.5, dup_prob=0.5, reorder_prob=0.5)
+        grid = [(kind, r, u, v, i)
+                for kind in ("drop", "dup", "reorder")
+                for r in (1, 7)
+                for (u, v) in ((0, 1), (1, 0), ("a", "b"))
+                for i in (0, 3)]
+        draws = [plan.decision(*args) for args in grid]
+        assert draws == [twin.decision(*args) for args in grid]
+        assert all(0.0 <= d < 1.0 for d in draws)
+        if other_seed != seed:
+            other = plan.with_seed(other_seed)
+            assert draws != [other.decision(*args) for args in grid]
+
+    @given(st.integers(0, 2_000))
+    @settings(max_examples=25, deadline=None)
+    def test_generated_schedules_are_pure_and_valid(self, seed):
+        from repro.congest.faults import FaultPlan
+        from repro.graphs.generators import random_connected_graph
+
+        graph = random_connected_graph(14, extra_edge_prob=0.2, seed=3)
+        kwargs = dict(
+            seed=seed, drop_prob=0.1, n_crashes=2, crash_length=4,
+            n_edge_deletes=2, n_edge_inserts=1, window=(1, 25),
+        )
+        plan = FaultPlan.generate(graph, **kwargs)
+        assert plan == FaultPlan.generate(graph, **kwargs)
+        for span in plan.crashes:
+            assert 1 <= span.start <= 25 and span.stop == span.start + 4
+        assert nx.is_connected(plan.final_graph(graph))
+
+    @given(st.integers(0, 500), st.sampled_from([1, 3]))
+    @settings(max_examples=6, deadline=None)
+    def test_fault_seed_invariant_under_engine_and_threads(self, fault_seed, threads):
+        from repro.algorithms.paths import run_refreshing_bellman_ford
+        from repro.congest.engine import ParallelEngine
+        from repro.congest.faults import FaultPlan
+        from repro.graphs.generators import random_connected_graph
+
+        graph = random_connected_graph(12, extra_edge_prob=0.2, seed=5)
+        source = min(graph.nodes())
+        plan = FaultPlan.generate(
+            graph, seed=0, drop_prob=0.15, n_crashes=1, crash_length=4,
+            window=(1, 15), protect=[source],
+        )
+        runs = {}
+        for name, engine in (
+            ("event", "event"),
+            ("parallel", ParallelEngine(threads=threads, min_parallel_nodes=1)),
+        ):
+            dists, result = run_refreshing_bellman_ford(
+                graph, source, weighted=False, max_rounds=30,
+                engine=engine, faults=plan, fault_seed=fault_seed,
+            )
+            runs[name] = (dists, result)
+        dists_e, result_e = runs["event"]
+        dists_p, result_p = runs["parallel"]
+        assert dists_p == dists_e
+        assert result_p.fault_stats == result_e.fault_stats
+        assert (result_p.rounds, result_p.total_messages, result_p.total_bits) == (
+            result_e.rounds, result_e.total_messages, result_e.total_bits,
+        )
+        assert result_p.per_round_bits == result_e.per_round_bits
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=8, deadline=None)
+    def test_different_fault_seeds_differ(self, fault_seed):
+        from repro.congest.faults import FaultPlan
+
+        plan = FaultPlan(seed=fault_seed, drop_prob=0.5)
+        other = plan.with_seed(fault_seed + 1)
+        grid = [(r, 0, 1, i) for r in range(1, 11) for i in range(10)]
+        assert [plan.drop(*g) for g in grid] != [other.drop(*g) for g in grid]
+
+
 class TestDeltaFarProperties:
     @given(st.integers(0, 200), st.integers(2, 4))
     @settings(max_examples=20, deadline=None)
